@@ -1,0 +1,70 @@
+"""Ablation benchmarks: block size, persistency model, diff encoding."""
+
+import pytest
+
+from benchmarks.conftest import measured_run
+from repro.bench.harness import BackendSpec, make_database
+from repro.bench.mobibench import Mobibench, WorkloadSpec
+from repro.config import tuna
+from repro.nvram.persistency import PersistencyModel
+from repro.wal.diff import DiffMode
+from repro.wal.nvwal import NvwalScheme
+
+SPEC = WorkloadSpec(op="insert", txns=100)
+
+
+@pytest.mark.parametrize("block_size", [2048, 8192, 32768])
+def test_ablation_block_size(benchmark, block_size):
+    scheme = NvwalScheme(
+        sync=NvwalScheme.uh_ls_diff().sync,
+        diff=True,
+        user_heap=True,
+        block_size=block_size,
+    )
+
+    def run():
+        db = make_database(tuna(500), BackendSpec.nvwal(scheme))
+        bench = Mobibench(db, SPEC)
+        bench.prepare()
+        result = bench.run()
+        return db, result
+
+    db, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["block_size"] = block_size
+    benchmark.extra_info["frames_per_block"] = round(db.wal.frames_per_block(), 1)
+    benchmark.extra_info["throughput_txn_per_sec"] = round(result.throughput())
+    assert result.throughput() > 0
+
+
+@pytest.mark.parametrize("model", list(PersistencyModel), ids=lambda m: m.value)
+def test_ablation_persistency(benchmark, model):
+    scheme = NvwalScheme.uh_ls_diff().with_persistency(model)
+
+    def run():
+        return measured_run(tuna(1000), BackendSpec.nvwal(scheme), SPEC)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["model"] = model.value
+    benchmark.extra_info["throughput_txn_per_sec"] = round(result.throughput())
+    assert result.throughput() > 0
+
+
+@pytest.mark.parametrize("mode", list(DiffMode), ids=lambda m: m.value)
+def test_ablation_diff_mode(benchmark, mode):
+    scheme = NvwalScheme(
+        sync=NvwalScheme.ls().sync,
+        diff=mode is not DiffMode.FULL_PAGE,
+        user_heap=True,
+        diff_mode=mode,
+    )
+
+    def run():
+        return measured_run(tuna(500), BackendSpec.nvwal(scheme), SPEC)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["diff_mode"] = mode.value
+    benchmark.extra_info["nvram_bytes_per_txn"] = round(
+        result.per_txn("memcpy_bytes")
+    )
+    benchmark.extra_info["throughput_txn_per_sec"] = round(result.throughput())
+    assert result.throughput() > 0

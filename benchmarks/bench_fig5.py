@@ -1,0 +1,37 @@
+"""Figure 5: lazy vs eager synchronization time breakdown."""
+
+import pytest
+
+from benchmarks.conftest import measured_run
+from repro.bench.harness import BackendSpec
+from repro.bench.mobibench import WorkloadSpec
+from repro.config import tuna
+from repro.hw.stats import TimeBucket
+from repro.wal.nvwal import NvwalScheme
+
+
+@pytest.mark.parametrize(
+    "mode,scheme",
+    [("L", NvwalScheme.ls()), ("E", NvwalScheme.eager())],
+    ids=["lazy", "eager"],
+)
+@pytest.mark.parametrize("inserts_per_txn", [1, 32])
+def test_fig5_breakdown(benchmark, mode, scheme, inserts_per_txn):
+    spec = WorkloadSpec(op="insert", txns=40, ops_per_txn=inserts_per_txn)
+
+    def run():
+        return measured_run(tuna(500), BackendSpec.nvwal(scheme), spec)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["inserts_per_txn"] = inserts_per_txn
+    benchmark.extra_info["memcpy_us"] = round(
+        result.time_per_txn_us(TimeBucket.MEMCPY), 2
+    )
+    benchmark.extra_info["dccmvac_us"] = round(
+        result.time_per_txn_us(TimeBucket.DCCMVAC), 2
+    )
+    benchmark.extra_info["dmb_us"] = round(
+        result.time_per_txn_us(TimeBucket.DMB), 2
+    )
+    assert result.time_per_txn_us(TimeBucket.DCCMVAC) > 0

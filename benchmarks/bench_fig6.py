@@ -1,0 +1,35 @@
+"""Figure 6: ordering-constraint overhead as % of execution time."""
+
+import pytest
+
+from benchmarks.conftest import measured_run
+from repro.bench.harness import BackendSpec
+from repro.bench.mobibench import WorkloadSpec
+from repro.config import tuna
+from repro.hw.stats import TimeBucket
+from repro.wal.nvwal import NvwalScheme
+
+
+@pytest.mark.parametrize("inserts_per_txn", [1, 4, 32])
+def test_fig6_overhead_ratio(benchmark, inserts_per_txn):
+    spec = WorkloadSpec(op="insert", txns=40, ops_per_txn=inserts_per_txn)
+
+    def run():
+        return measured_run(
+            tuna(500), BackendSpec.nvwal(NvwalScheme.ls()), spec
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    overhead_us = (
+        result.time_per_txn_us(TimeBucket.DCCMVAC)
+        + result.time_per_txn_us(TimeBucket.DMB)
+        + result.time_per_txn_us(TimeBucket.SYSCALL)
+    )
+    exec_us = result.mean_txn_us()
+    percent = 100 * overhead_us / exec_us
+    benchmark.extra_info["inserts_per_txn"] = inserts_per_txn
+    benchmark.extra_info["exec_us"] = round(exec_us, 1)
+    benchmark.extra_info["overhead_us"] = round(overhead_us, 1)
+    benchmark.extra_info["overhead_percent"] = round(percent, 2)
+    # paper: 4.6% at 1 insert, falling to 0.8% at 32
+    assert percent < 10.0

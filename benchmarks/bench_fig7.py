@@ -1,0 +1,42 @@
+"""Figure 7: throughput vs NVRAM write latency for the six NVWAL schemes."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_TXNS, measured_run
+from repro.bench.harness import BackendSpec
+from repro.bench.mobibench import WorkloadSpec
+from repro.config import tuna
+from repro.wal.nvwal import NvwalScheme
+
+SCHEMES = {s.name: s for s in NvwalScheme.all_figure7()}
+
+
+@pytest.mark.parametrize("scheme_name", list(SCHEMES), ids=list(SCHEMES))
+@pytest.mark.parametrize("latency_ns", [400, 1900])
+def test_fig7_insert_throughput(benchmark, scheme_name, latency_ns):
+    scheme = SCHEMES[scheme_name]
+    spec = WorkloadSpec(op="insert", txns=BENCH_TXNS)
+
+    def run():
+        return measured_run(tuna(latency_ns), BackendSpec.nvwal(scheme), spec)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["scheme"] = scheme_name
+    benchmark.extra_info["nvram_write_latency_ns"] = latency_ns
+    benchmark.extra_info["throughput_txn_per_sec"] = round(result.throughput())
+    assert result.throughput() > 0
+
+
+@pytest.mark.parametrize("op", ["update", "delete"])
+def test_fig7_other_ops(benchmark, op):
+    spec = WorkloadSpec(op=op, txns=BENCH_TXNS)
+
+    def run():
+        return measured_run(
+            tuna(500), BackendSpec.nvwal(NvwalScheme.uh_ls_diff()), spec
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["op"] = op
+    benchmark.extra_info["throughput_txn_per_sec"] = round(result.throughput())
+    assert result.throughput() > 0

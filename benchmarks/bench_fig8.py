@@ -1,0 +1,20 @@
+"""Figure 8: block trace of insert transactions, stock vs optimized WAL."""
+
+import pytest
+
+from repro.bench.experiments.fig8 import trace_run
+
+
+@pytest.mark.parametrize("optimized", [False, True], ids=["stock", "optimized"])
+def test_fig8_block_trace(benchmark, optimized):
+    def run():
+        return trace_run(optimized)
+
+    trace, batch_ms, by_tag = benchmark.pedantic(run, rounds=1, iterations=1)
+    journal_kb = by_tag.get("journal", 0) // 1024
+    wal_kb = sum(v for k, v in by_tag.items() if k.endswith("db-wal")) // 1024
+    benchmark.extra_info["mode"] = "optimized" if optimized else "stock"
+    benchmark.extra_info["journal_kb"] = journal_kb
+    benchmark.extra_info["db_wal_kb"] = wal_kb
+    benchmark.extra_info["batch_ms"] = round(batch_ms, 1)
+    assert journal_kb > 0

@@ -1,0 +1,45 @@
+"""Figure 9: NVWAL on emulated NVRAM vs WAL on eMMC flash (Nexus 5)."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_TXNS, measured_run
+from repro.bench.harness import BackendSpec
+from repro.bench.mobibench import WorkloadSpec
+from repro.config import nexus5
+from repro.wal.nvwal import NvwalScheme
+
+SPEC = WorkloadSpec(op="insert", txns=BENCH_TXNS)
+
+
+@pytest.mark.parametrize("latency_us", [2, 47, 230])
+@pytest.mark.parametrize(
+    "scheme",
+    [NvwalScheme.uh_ls_diff(), NvwalScheme.ls()],
+    ids=["UH+LS+Diff", "LS"],
+)
+def test_fig9_nvwal(benchmark, scheme, latency_us):
+    def run():
+        return measured_run(
+            nexus5(latency_us * 1000), BackendSpec.nvwal(scheme), SPEC
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    tput = result.throughput(include_checkpoint=True)
+    benchmark.extra_info["scheme"] = scheme.name
+    benchmark.extra_info["nvram_latency_us"] = latency_us
+    benchmark.extra_info["throughput_txn_per_sec"] = round(tput)
+    assert tput > 0
+
+
+@pytest.mark.parametrize("optimized", [False, True], ids=["stock", "optimized"])
+def test_fig9_flash_baseline(benchmark, optimized):
+    def run():
+        return measured_run(nexus5(), BackendSpec.file(optimized), SPEC)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    tput = result.throughput(include_checkpoint=True)
+    benchmark.extra_info["mode"] = "optimized" if optimized else "stock"
+    benchmark.extra_info["throughput_txn_per_sec"] = round(tput)
+    # paper anchor: optimized WAL on flash ~541 txn/sec
+    if optimized:
+        assert 350 < tput < 750

@@ -1,0 +1,36 @@
+"""Motivation ladder: rollback journal -> WAL -> optimized WAL -> NVWAL."""
+
+import pytest
+
+from benchmarks.conftest import measured_run
+from repro.bench.harness import BackendSpec
+from repro.bench.mobibench import WorkloadSpec
+from repro.config import nexus5
+from repro.hw import stats as statnames
+from repro.wal.nvwal import NvwalScheme
+
+LADDER = {
+    "rollback-journal": BackendSpec.journal(),
+    "stock-wal": BackendSpec.file(optimized=False),
+    "optimized-wal": BackendSpec.file(optimized=True),
+    "nvwal-uh-ls-diff": BackendSpec.nvwal(NvwalScheme.uh_ls_diff()),
+}
+
+
+@pytest.mark.parametrize("name", list(LADDER), ids=list(LADDER))
+def test_motivation_ladder(benchmark, name):
+    backend = LADDER[name]
+    spec = WorkloadSpec(op="insert", txns=60)
+
+    def run():
+        return measured_run(nexus5(), backend, spec)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["backend"] = backend.label
+    benchmark.extra_info["throughput_txn_per_sec"] = round(
+        result.throughput(include_checkpoint=True)
+    )
+    benchmark.extra_info["fsyncs_per_txn"] = round(
+        result.per_txn(statnames.BLOCK_FLUSHES), 1
+    )
+    assert result.throughput() > 0

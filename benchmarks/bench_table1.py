@@ -1,0 +1,26 @@
+"""Table 1: cache-line flushes per transaction vs inserts per transaction."""
+
+import pytest
+
+from benchmarks.conftest import measured_run
+from repro.bench.harness import BackendSpec
+from repro.bench.mobibench import WorkloadSpec
+from repro.config import tuna
+from repro.hw import stats as statnames
+from repro.wal.nvwal import NvwalScheme
+
+
+@pytest.mark.parametrize("inserts_per_txn", [1, 8, 32])
+def test_table1_flushes_per_txn(benchmark, inserts_per_txn):
+    spec = WorkloadSpec(op="insert", txns=40, ops_per_txn=inserts_per_txn)
+
+    def run():
+        return measured_run(
+            tuna(500), BackendSpec.nvwal(NvwalScheme.ls()), spec
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    flushes = result.per_txn(statnames.FLUSHES)
+    benchmark.extra_info["inserts_per_txn"] = inserts_per_txn
+    benchmark.extra_info["cache_line_flushes_per_txn"] = round(flushes, 1)
+    assert flushes > 0

@@ -1,0 +1,26 @@
+"""Table 2: bytes written to NVRAM, with and without differential logging."""
+
+import pytest
+
+from benchmarks.conftest import measured_run
+from repro.bench.harness import BackendSpec
+from repro.bench.mobibench import WorkloadSpec
+from repro.config import tuna
+from repro.wal.nvwal import NvwalScheme
+
+
+@pytest.mark.parametrize("op", ["insert", "update", "delete"])
+@pytest.mark.parametrize("diff", [False, True], ids=["full", "diff"])
+def test_table2_nvram_write_volume(benchmark, op, diff):
+    scheme = NvwalScheme.ls_diff() if diff else NvwalScheme.ls()
+    spec = WorkloadSpec(op=op, txns=60, ops_per_txn=4)
+
+    def run():
+        return measured_run(tuna(500), BackendSpec.nvwal(scheme), spec)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    bytes_per_txn = result.per_txn("memcpy_bytes")
+    benchmark.extra_info["op"] = op
+    benchmark.extra_info["differential"] = diff
+    benchmark.extra_info["nvram_bytes_per_txn"] = round(bytes_per_txn)
+    assert bytes_per_txn > 0

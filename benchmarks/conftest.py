@@ -1,0 +1,22 @@
+"""Shared helpers for the pytest-benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure of the paper at a
+reduced-but-meaningful size.  Wall-clock time measured by pytest-benchmark
+is the *simulator's* cost; the paper-relevant numbers (simulated
+throughput, flush counts, byte volumes) are attached as ``extra_info`` so a
+benchmark run doubles as a results regeneration.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BackendSpec, run_workload
+from repro.bench.mobibench import WorkloadSpec
+
+#: Transactions per measured run: big enough for stable simulated numbers,
+#: small enough that the whole benchmark suite finishes in minutes.
+BENCH_TXNS = 150
+
+
+def measured_run(config, backend: BackendSpec, spec: WorkloadSpec):
+    """One workload run returning its RunResult."""
+    return run_workload(config, backend, spec)

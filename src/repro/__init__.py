@@ -1,0 +1,40 @@
+"""NVWAL reproduction: exploiting NVRAM in write-ahead logging.
+
+A from-scratch, simulation-backed reproduction of *NVWAL: Exploiting NVRAM
+in Write-Ahead Logging* (Kim et al., ASPLOS 2016): a SQLite-like embedded
+database whose write-ahead log lives in byte-addressable NVRAM, with
+byte-granularity differential logging, transaction-aware lazy
+synchronization, and user-level NVRAM heap management — plus the file-WAL
+baselines on an eMMC/EXT4 storage stack, all running on a deterministic
+simulated-hardware substrate.
+
+Quickstart::
+
+    from repro import Database, System, tuna
+    from repro.wal import NvwalBackend, NvwalScheme
+
+    system = System(tuna(write_latency_ns=500))
+    db = Database(system, wal=NvwalBackend(system, NvwalScheme.uh_ls_diff()))
+    db.execute("CREATE TABLE kv (key INTEGER PRIMARY KEY, value TEXT)")
+    with db.transaction():
+        db.execute("INSERT INTO kv VALUES (1, 'hello nvram')")
+    print(db.query("SELECT value FROM kv WHERE key = 1"))
+"""
+
+from repro.config import PROFILES, SystemConfig, nexus5, tuna
+from repro.db.database import Database
+from repro.errors import ReproError
+from repro.system import System
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "PROFILES",
+    "ReproError",
+    "System",
+    "SystemConfig",
+    "nexus5",
+    "tuna",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Benchmark harness: Mobibench workloads and the paper's experiments.
+
+Every table and figure of the paper's evaluation (Section 5) has a module
+under :mod:`repro.bench.experiments`; ``python -m repro.bench all`` regen-
+erates them and prints paper-style tables/series.
+"""
+
+from repro.bench.mobibench import Mobibench, RunResult, WorkloadSpec
+from repro.bench.harness import make_database, run_workload
+
+__all__ = [
+    "Mobibench",
+    "RunResult",
+    "WorkloadSpec",
+    "make_database",
+    "run_workload",
+]

@@ -1,0 +1,64 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench all            # every experiment, full size
+    python -m repro.bench fig7 fig9      # a subset
+    python -m repro.bench all --quick    # small runs for smoke testing
+    python -m repro.bench --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the NVWAL paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (or 'all')",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small runs for smoke testing"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+
+    names = (
+        list(EXPERIMENTS)
+        if args.experiments == ["all"]
+        else args.experiments
+    )
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+    for name in names:
+        start = time.time()
+        report = EXPERIMENTS[name](quick=args.quick)
+        print(report.render())
+        print(f"   [{name} regenerated in {time.time() - start:.1f}s wall]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

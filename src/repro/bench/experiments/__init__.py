@@ -1,0 +1,40 @@
+"""The paper's evaluation, experiment by experiment.
+
+Registry mapping experiment names to their ``run(quick)`` functions; the
+``python -m repro.bench`` CLI and the pytest-benchmark suite both dispatch
+through :data:`EXPERIMENTS`.
+"""
+
+from repro.bench.experiments import (
+    ablation_blocksize,
+    ablation_checkpoint,
+    ablation_diff,
+    ablation_persistency,
+    ablation_recovery,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    motivation,
+    table1,
+    table2,
+)
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "motivation": motivation.run,
+    "ablation_blocksize": ablation_blocksize.run,
+    "ablation_persistency": ablation_persistency.run,
+    "ablation_diff": ablation_diff.run,
+    "ablation_recovery": ablation_recovery.run,
+    "ablation_checkpoint": ablation_checkpoint.run,
+}
+
+__all__ = ["EXPERIMENTS"]

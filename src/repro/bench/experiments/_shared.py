@@ -1,0 +1,38 @@
+"""Shared runs for the ordering-constraint experiments.
+
+Table 1, Figure 5, and Figure 6 all come from the same experiment
+(Section 5.1): Tuna board, NVRAM write latency fixed at 500 ns, insert
+transactions with 1-32 records each, comparing eager (E) and lazy (L)
+synchronization.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.bench.harness import BackendSpec, run_workload
+from repro.bench.mobibench import RunResult, WorkloadSpec
+from repro.config import tuna
+from repro.wal.nvwal import NvwalScheme
+
+INSERT_COUNTS = (1, 2, 4, 8, 16, 32)
+
+#: Section 5.1 fixes the NVRAM write latency to 500 ns "as in [37]".
+ORDERING_LATENCY_NS = 500
+
+
+@lru_cache(maxsize=None)
+def ordering_runs(quick: bool) -> dict[tuple[str, int], RunResult]:
+    """Run (mode, inserts_per_txn) -> RunResult for E and L.
+
+    Cached so table1/fig5/fig6 share one sweep when run back to back.
+    """
+    txns = 30 if quick else 200
+    results: dict[tuple[str, int], RunResult] = {}
+    for mode, scheme in (("E", NvwalScheme.eager()), ("L", NvwalScheme.ls())):
+        for count in INSERT_COUNTS:
+            spec = WorkloadSpec(op="insert", txns=txns, ops_per_txn=count)
+            results[(mode, count)] = run_workload(
+                tuna(ORDERING_LATENCY_NS), BackendSpec.nvwal(scheme), spec
+            )
+    return results

@@ -1,0 +1,48 @@
+"""Ablation A5: checkpoint threshold (SQLite's 1000-frame default).
+
+Section 5.4 sets the checkpointing interval to 1000 dirty WAL frames.
+This ablation sweeps the threshold: small thresholds checkpoint often
+(more flash I/O amortized into throughput, but less NVRAM held and faster
+recovery); large thresholds are faster but hold more NVRAM.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BackendSpec, make_database
+from repro.bench.mobibench import Mobibench, WorkloadSpec
+from repro.bench.report import Report, Table
+from repro.config import tuna
+from repro.wal.nvwal import NvwalScheme
+
+THRESHOLDS = (50, 200, 1000, 4000)
+
+
+def run(quick: bool = False) -> Report:
+    """Sweep the checkpoint threshold for NVWAL UH+LS+Diff."""
+    txns = 120 if quick else 1200
+    headers = [
+        "threshold (frames)", "throughput incl. ckpt (txn/s)",
+        "checkpoints", "log bytes held at end",
+    ]
+    rows = []
+    for threshold in THRESHOLDS:
+        db = make_database(
+            tuna(), BackendSpec.nvwal(NvwalScheme.uh_ls_diff(), threshold)
+        )
+        bench = Mobibench(db, WorkloadSpec(op="insert", txns=txns))
+        bench.prepare()
+        result = bench.run()
+        rows.append(
+            [
+                threshold,
+                round(result.throughput(include_checkpoint=True)),
+                result.checkpoints,
+                db.wal.log_bytes_in_use(),
+            ]
+        )
+    return Report(
+        "Ablation A5",
+        "Checkpoint threshold vs throughput (paper default: 1000 frames)",
+        tables=[Table(headers, rows)],
+        notes=["Tuna profile, insert workload, NVWAL UH+LS+Diff."],
+    )

@@ -1,0 +1,45 @@
+"""Ablation A2: memory persistency models (Section 4.4).
+
+The paper conjectures — but cannot measure, lacking hardware — that strict
+persistency would hurt NVWAL (persists serialize in program order) while
+relaxed/epoch persistency would help (no per-line flush instructions, and
+persists within an epoch overlap).  The simulator can measure it.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BackendSpec, run_workload
+from repro.bench.mobibench import WorkloadSpec
+from repro.bench.report import Report, Table
+from repro.config import tuna
+from repro.nvram.persistency import PersistencyModel
+from repro.wal.nvwal import NvwalScheme
+
+LATENCIES_NS = (400, 1000, 1900)
+
+
+def run(quick: bool = False) -> Report:
+    """Compare explicit (Algorithm 1) vs strict vs epoch persistency."""
+    txns = 60 if quick else 400
+    headers = ["model \\ latency (ns)"] + [str(l) for l in LATENCIES_NS]
+    rows = []
+    for model in PersistencyModel:
+        scheme = NvwalScheme.uh_ls_diff().with_persistency(model)
+        row: list[object] = [model.value]
+        for latency in LATENCIES_NS:
+            result = run_workload(
+                tuna(latency),
+                BackendSpec.nvwal(scheme),
+                WorkloadSpec(op="insert", txns=txns),
+            )
+            row.append(round(result.throughput()))
+        rows.append(row)
+    return Report(
+        "Ablation A2",
+        "NVWAL under strict vs epoch (relaxed) persistency hardware",
+        tables=[Table(headers, rows, title="insert throughput, txn/sec")],
+        notes=[
+            "Section 4.4 conjecture: epoch > explicit-software > strict;",
+            "strict removes flush instructions but serializes every persist.",
+        ],
+    )

@@ -1,0 +1,66 @@
+"""Ablation A4: recovery time vs log size.
+
+Not measured in the paper (it had no way to power-cycle), but implied by
+its recovery algorithm: NVWAL recovery scans the NVRAM log and rebuilds
+page images, so recovery cost grows with the un-checkpointed log.  This
+ablation crashes after N transactions and measures simulated recovery
+time for NVWAL and the file WAL.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BackendSpec, make_database
+from repro.bench.report import Report, Table
+from repro.config import tuna
+from repro.system import System
+from repro.wal.filewal import FileWalBackend
+from repro.wal.nvwal import NvwalBackend, NvwalScheme
+
+LOG_SIZES = (10, 100, 500, 1000)
+
+
+def _recovery_time_ms(backend_kind: str, txns: int) -> float:
+    if backend_kind == "nvwal":
+        backend = BackendSpec.nvwal(NvwalScheme.uh_ls_diff(), threshold=10**9)
+    else:
+        backend = BackendSpec.file(optimized=True, threshold=10**9)
+    db = make_database(tuna(), backend)
+    system = db.system
+    db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v TEXT)")
+    for i in range(txns):
+        db.execute("INSERT INTO t VALUES (?, ?)", (i, "x" * 100))
+    system.power_fail()
+    system.reboot()
+    fs = system.fs
+    db_file = fs.open("test.db") if fs.exists("test.db") else fs.create("test.db")
+    start = system.clock.now_ns
+    if backend_kind == "nvwal":
+        wal = NvwalBackend(system, NvwalScheme.uh_ls_diff())
+        wal.bind(db_file)
+        wal.recover()
+    else:
+        wal = FileWalBackend(system, optimized=True)
+        wal.bind_files(db_file, fs, "test.db-wal")
+        wal.recover()
+    return (system.clock.now_ns - start) / 1e6
+
+
+def run(quick: bool = False) -> Report:
+    """Measure recovery latency as the log grows."""
+    sizes = LOG_SIZES[:2] if quick else LOG_SIZES
+    headers = ["txns in log"] + [str(n) for n in sizes]
+    rows = []
+    for kind, label in (("nvwal", "NVWAL UH+LS+Diff"), ("file", "Optimized WAL")):
+        row: list[object] = [label + " recovery (ms)"]
+        for txns in sizes:
+            row.append(round(_recovery_time_ms(kind, txns), 2))
+        rows.append(row)
+    return Report(
+        "Ablation A4",
+        "Recovery time vs un-checkpointed log size",
+        tables=[Table(headers, rows)],
+        notes=[
+            "Tuna profile; crash after N committed insert transactions,",
+            "checkpointing disabled so the whole history must be replayed.",
+        ],
+    )

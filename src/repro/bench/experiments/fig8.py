@@ -1,0 +1,82 @@
+"""Figure 8: block trace of SQLite insert transactions (Nexus 5).
+
+Ten insert transactions in stock WAL mode vs optimized WAL mode (aligned
+frames + pre-allocation), tracing every block write by category (EXT4
+journal / .db-wal / .db).  Paper numbers: the optimization cuts EXT4
+journal+data traffic from 284 KB to 172 KB (journal accesses −40%) and the
+10-transaction batch time from 90 ms to 74 ms.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BackendSpec, make_database
+from repro.bench.report import Report, Table
+from repro.config import nexus5
+
+TXNS = 10
+
+
+def trace_run(optimized: bool):
+    """Run the 10-txn batch and return (trace, batch_ms, bytes_by_tag)."""
+    db = make_database(nexus5(), BackendSpec.file(optimized=optimized))
+    system = db.system
+    db.execute(
+        "CREATE TABLE IF NOT EXISTS mobibench (key INTEGER PRIMARY KEY, value TEXT)"
+    )
+    system.trace.clear()  # drop mkfs / table-creation noise
+    start = system.clock.now_ns
+    for i in range(TXNS):
+        db.execute("INSERT INTO mobibench VALUES (?, ?)", (i, "x" * 100))
+    batch_ms = (system.clock.now_ns - start) / 1e6
+    return system.trace, batch_ms, system.trace.bytes_by_tag()
+
+
+def run(quick: bool = False) -> Report:
+    """Regenerate Figure 8 (series summary + traffic totals)."""
+    rows = []
+    series_rows = []
+    totals = {}
+    for optimized in (False, True):
+        label = "Optimized WAL" if optimized else "WAL"
+        trace, batch_ms, by_tag = trace_run(optimized)
+        journal = by_tag.get("journal", 0)
+        wal_data = sum(v for k, v in by_tag.items() if k.endswith("db-wal"))
+        db_data = sum(
+            v for k, v in by_tag.items()
+            if k.startswith("file:") and not k.endswith("db-wal")
+        )
+        total = journal + wal_data + db_data
+        totals[label] = (journal, total)
+        rows.append(
+            [label, round(journal / 1024), round(wal_data / 1024),
+             round(db_data / 1024), round(total / 1024), batch_ms]
+        )
+        for tag, points in sorted(trace.series().items()):
+            first, last = points[0], points[-1]
+            series_rows.append(
+                [label, tag, len(points),
+                 f"{first[1]}..{last[1]}",
+                 f"{first[0] * 1e3:.1f}..{last[0] * 1e3:.1f}"]
+            )
+    journal_cut = 1 - totals["Optimized WAL"][0] / totals["WAL"][0]
+    return Report(
+        "Figure 8",
+        "Block trace of 10 SQLite insert transactions (WAL vs optimized WAL)",
+        tables=[
+            Table(
+                ["mode", "journal KB", ".db-wal KB", ".db KB", "total KB",
+                 "batch ms"],
+                rows,
+                title="write traffic by category",
+            ),
+            Table(
+                ["mode", "tag", "writes", "block range", "time range (ms)"],
+                series_rows,
+                title="trace series (block address vs time)",
+            ),
+        ],
+        notes=[
+            f"Journal traffic reduced by {journal_cut * 100:.0f}% "
+            "(paper: ~40%, 284 KB vs 172 KB total).",
+        ],
+    )

@@ -1,0 +1,32 @@
+"""Table 1: average number of cache line flushes per transaction.
+
+Paper: "Table 1 shows how many cache lines are flushed per transaction
+(the number of called dccmvac instructions) with varying the number of
+insertions per transaction" — for the lazy-synchronization configuration of
+the Figure 5 experiment (Tuna, 500 ns NVRAM).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments._shared import INSERT_COUNTS, ordering_runs
+from repro.bench.report import Report, Table
+from repro.hw import stats as statnames
+
+
+def run(quick: bool = False) -> Report:
+    """Regenerate Table 1."""
+    runs = ordering_runs(quick)
+    headers = ["# of insertions per txn"] + [str(c) for c in INSERT_COUNTS]
+    flush_row = ["# of cache line flushes"]
+    for count in INSERT_COUNTS:
+        flush_row.append(round(runs[("L", count)].per_txn(statnames.FLUSHES), 1))
+    report = Report(
+        "Table 1",
+        "Average number of cache line flushes per transaction",
+        tables=[Table(headers, [flush_row])],
+        notes=[
+            "Tuna profile, NVRAM write latency 500 ns, lazy synchronization,",
+            "full-page WAL frames (the Figure 5 configuration).",
+        ],
+    )
+    return report

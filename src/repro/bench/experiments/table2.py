@@ -1,0 +1,57 @@
+"""Table 2: average number of bytes written to NVRAM per transaction.
+
+Paper (Section 5.2): byte-granularity differential logging eliminates
+73-84% of insert I/O, 29-85% of update I/O, and 49-69% of delete I/O
+compared to block-granularity (full-page) logging, with insert gaining the
+most because SQLite appends new records at the end of a page's used region
+while update/delete shift cells to avoid fragmentation.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BackendSpec, run_workload
+from repro.bench.mobibench import WorkloadSpec
+from repro.bench.report import Report, Table
+from repro.config import tuna
+from repro.wal.nvwal import NvwalScheme
+
+OP_COUNTS = (1, 2, 4, 8, 16, 32)
+OPS = ("insert", "update", "delete")
+
+
+def run(quick: bool = False) -> Report:
+    """Regenerate Table 2."""
+    txns = 25 if quick else 150
+    headers = ["# of ops per txn"] + [str(c) for c in OP_COUNTS] + ["saved"]
+    rows = []
+    for op in OPS:
+        full_row: list[object] = [op.capitalize()]
+        diff_row: list[object] = [f"{op.capitalize()} (Diff)"]
+        savings = []
+        for count in OP_COUNTS:
+            spec = WorkloadSpec(op=op, txns=txns, ops_per_txn=count)
+            full = run_workload(
+                tuna(500), BackendSpec.nvwal(NvwalScheme.ls()), spec
+            ).per_txn("memcpy_bytes")
+            diff = run_workload(
+                tuna(500), BackendSpec.nvwal(NvwalScheme.ls_diff()), spec
+            ).per_txn("memcpy_bytes")
+            full_row.append(round(full))
+            diff_row.append(round(diff))
+            if full > 0:
+                savings.append(1 - diff / full)
+        full_row.append("")
+        diff_row.append(
+            f"{min(savings) * 100:.0f}-{max(savings) * 100:.0f}%" if savings else ""
+        )
+        rows.extend([full_row, diff_row])
+    return Report(
+        "Table 2",
+        "Average number of bytes written to NVRAM per transaction",
+        tables=[Table(headers, rows)],
+        notes=[
+            "Tuna profile, 500 ns NVRAM; 'saved' is the range of I/O",
+            "eliminated by differential logging across op counts",
+            "(paper: insert 73-84%, update 29-85%, delete 49-69%).",
+        ],
+    )

@@ -1,0 +1,110 @@
+"""Experiment plumbing: build systems/databases, run workloads, sweep knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bench.mobibench import Mobibench, RunResult, WorkloadSpec
+from repro.config import SystemConfig
+from repro.db.database import Database
+from repro.system import System
+from repro.wal.filewal import FileWalBackend
+from repro.wal.journal import RollbackJournalBackend
+from repro.wal.nvwal import NvwalBackend, NvwalScheme
+
+#: SQLite's default checkpoint threshold, used unless an experiment says
+#: otherwise (Section 5.4 sets it to 1000 dirty WAL frames explicitly).
+CHECKPOINT_THRESHOLD = 1000
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """How to build a WAL backend for one run."""
+
+    kind: str  # "nvwal" | "file" | "journal"
+    scheme: NvwalScheme | None = None
+    optimized: bool = False
+    checkpoint_threshold: int = CHECKPOINT_THRESHOLD
+
+    @property
+    def label(self) -> str:
+        """Paper-style series label."""
+        if self.kind == "nvwal":
+            return self.scheme.name
+        if self.kind == "journal":
+            return "Rollback journal on eMMC"
+        return "Optimized WAL on eMMC" if self.optimized else "WAL on eMMC"
+
+    @classmethod
+    def nvwal(cls, scheme: NvwalScheme, threshold: int = CHECKPOINT_THRESHOLD):
+        """An NVWAL backend with the given scheme."""
+        return cls("nvwal", scheme=scheme, checkpoint_threshold=threshold)
+
+    @classmethod
+    def file(cls, optimized: bool, threshold: int = CHECKPOINT_THRESHOLD):
+        """A file-WAL backend (stock or optimized)."""
+        return cls("file", optimized=optimized, checkpoint_threshold=threshold)
+
+    @classmethod
+    def journal(cls):
+        """The rollback-journal baseline (pre-WAL SQLite)."""
+        return cls("journal")
+
+
+def make_database(
+    config: SystemConfig, backend: BackendSpec, seed: int = 0
+) -> Database:
+    """Fresh system + database wired to the requested WAL backend."""
+    system = System(config, seed=seed)
+    if backend.kind == "nvwal":
+        wal = NvwalBackend(
+            system, backend.scheme, checkpoint_threshold=backend.checkpoint_threshold
+        )
+        early_split = True
+    elif backend.kind == "journal":
+        wal = RollbackJournalBackend(system)
+        early_split = False
+    else:
+        wal = FileWalBackend(
+            system,
+            optimized=backend.optimized,
+            checkpoint_threshold=backend.checkpoint_threshold,
+        )
+        # Stock SQLite has no early-split page reservation (Section 5.4
+        # introduces it as part of the optimized WAL and NVWAL).
+        early_split = backend.optimized
+    return Database(system, wal=wal, early_split=early_split)
+
+
+def run_workload(
+    config: SystemConfig,
+    backend: BackendSpec,
+    spec: WorkloadSpec,
+    seed: int = 0,
+    setup: Callable[[Database], None] | None = None,
+) -> RunResult:
+    """Build a fresh database, prepare the workload, run it measured."""
+    db = make_database(config, backend, seed=seed)
+    bench = Mobibench(db, spec)
+    bench.prepare()
+    if setup is not None:
+        setup(db)
+    return bench.run()
+
+
+def sweep_latency(
+    base_config: SystemConfig,
+    backend: BackendSpec,
+    spec: WorkloadSpec,
+    latencies_ns: list[int],
+    include_checkpoint: bool = False,
+) -> list[tuple[int, float]]:
+    """Throughput at each NVRAM write latency — the Figure 7/9 x-axis."""
+    points = []
+    for latency in latencies_ns:
+        result = run_workload(
+            base_config.with_nvram_write_latency(latency), backend, spec
+        )
+        points.append((latency, result.throughput(include_checkpoint)))
+    return points

@@ -1,0 +1,16 @@
+"""The SQLite-like embedded database engine.
+
+Architecture mirrors the slice of SQLite that NVWAL depends on: a slotted-
+page B+tree (4 KB pages) under a DRAM page cache, a single-writer
+transaction model, and a pluggable write-ahead-log backend that receives
+each transaction's dirty pages at commit (:mod:`repro.wal`).
+
+A small SQL front end (:mod:`repro.db.sql`) covers the statement shapes the
+Mobibench workload issues (CREATE/INSERT/SELECT/UPDATE/DELETE plus
+transactions), so examples and benchmarks read like real SQLite client code.
+"""
+
+from repro.db.database import Database
+from repro.db.record import Value, decode_row, encode_row
+
+__all__ = ["Database", "Value", "decode_row", "encode_row"]

@@ -1,0 +1,332 @@
+"""The Database: tables, transactions, WAL binding, recovery.
+
+This is the SQLite-shaped surface over the engine: a serverless,
+single-writer embedded database whose dirty pages go to a pluggable
+write-ahead log at commit (Figure 1).  The Mobibench harness and all
+examples talk to this class.
+
+Lifecycle: constructing a :class:`Database` opens (or creates) the database
+file on the system's filesystem, runs WAL recovery (installing committed
+log content into the page cache), and loads the table catalog.  After a
+simulated power failure, call ``system.reboot()`` and construct a new
+Database over the same system — that is the crash-recovery path the tests
+exercise.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+
+from repro.db.btree import BTree
+from repro.db.pager import Pager
+from repro.db.record import decode_row, encode_row
+from repro.db.sql import ast_nodes as ast
+from repro.db.sql.executor import Executor
+from repro.db.sql.parser import parse
+from repro.errors import (
+    DatabaseError,
+    SqlError,
+    TableError,
+    TransactionError,
+)
+from repro.hw.stats import TimeBucket
+from repro.system import System
+
+
+@dataclass(frozen=True)
+class TableInfo:
+    """Catalog entry for one table."""
+
+    table_id: int
+    name: str
+    root: int
+    columns: tuple[ast.ColumnDef, ...]
+    key_index: int | None  # None: hidden auto rowid
+
+
+class Database:
+    """A serverless embedded database bound to one WAL backend."""
+
+    def __init__(
+        self,
+        system: System,
+        wal=None,
+        name: str = "test.db",
+        early_split: bool = True,
+        auto_checkpoint: bool = True,
+    ) -> None:
+        from repro.wal.filewal import FileWalBackend
+        from repro.wal.journal import RollbackJournalBackend
+        from repro.wal.nvwal import NvwalBackend
+
+        self.system = system
+        self.name = name
+        self.auto_checkpoint = auto_checkpoint
+        fs = system.fs
+        if fs.exists(name):
+            self.db_file = fs.open(name)
+        else:
+            self.db_file = fs.create(name)
+        self.wal = wal if wal is not None else NvwalBackend(system)
+        if isinstance(self.wal, FileWalBackend):
+            if self.wal.optimized and not early_split:
+                raise TableError(
+                    "the optimized file WAL requires the early-split pager"
+                )
+            self.wal.bind_files(self.db_file, fs, name + "-wal")
+        elif isinstance(self.wal, RollbackJournalBackend):
+            self.wal.bind_files(self.db_file, fs, name + "-journal")
+        else:
+            self.wal.bind(self.db_file)
+        self.pager = Pager(system, self.db_file, early_split)
+        for pno, image in self.wal.recover().items():
+            self.pager.install_page(pno, image)
+        self.executor = Executor(self)
+        self._in_explicit_txn = False
+        self._tables_cache: dict[str, TableInfo] = {}
+        self._tables_cookie = -1
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str, params: tuple = ()) -> list[tuple] | int:
+        """Run one SQL statement.
+
+        Returns rows for SELECT, an affected-row count for writes.
+        Outside an explicit transaction, writes autocommit.
+        """
+        self.system.cpu.compute(
+            self.system.config.db_costs.statement_ns, TimeBucket.CPU
+        )
+        stmt = parse(sql)
+        if isinstance(stmt, ast.Begin):
+            self.begin()
+            return 0
+        if isinstance(stmt, ast.Commit):
+            self.commit()
+            return 0
+        if isinstance(stmt, ast.Rollback):
+            self.rollback()
+            return 0
+        if isinstance(stmt, ast.Checkpoint):
+            return self.checkpoint()
+        if self._in_explicit_txn:
+            return self.executor.run(stmt, params)
+        return self._autocommit(stmt, params)
+
+    def query(self, sql: str, params: tuple = ()) -> list[tuple]:
+        """Run a SELECT and return its rows."""
+        result = self.execute(sql, params)
+        if not isinstance(result, list):
+            raise SqlError("query() requires a SELECT statement")
+        return result
+
+    def executemany(self, sql: str, param_rows) -> int:
+        """Run one statement for each parameter tuple, in a single
+        transaction (unless one is already open).  Returns the summed
+        affected-row count."""
+        total = 0
+        if self._in_explicit_txn:
+            for params in param_rows:
+                result = self.execute(sql, tuple(params))
+                total += result if isinstance(result, int) else 0
+            return total
+        with self.transaction():
+            for params in param_rows:
+                result = self.execute(sql, tuple(params))
+                total += result if isinstance(result, int) else 0
+        return total
+
+    @contextlib.contextmanager
+    def transaction(self):
+        """``with db.transaction():`` — commit on success, roll back on
+        exception (including simulated power failures)."""
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            if self.pager.in_transaction:
+                self.rollback()
+            raise
+        self.commit()
+
+    # ------------------------------------------------------------------
+    # transaction control
+    # ------------------------------------------------------------------
+
+    def begin(self) -> None:
+        """Open a write transaction (SQLite allows exactly one writer)."""
+        if self._in_explicit_txn:
+            raise TransactionError("transaction already in progress")
+        self.pager.begin()
+        self._in_explicit_txn = True
+
+    def commit(self) -> None:
+        """Commit: hand the dirty pages to the WAL, then maybe checkpoint."""
+        if not self._in_explicit_txn:
+            raise TransactionError("no transaction in progress")
+        self._commit_pager_txn()
+        self._in_explicit_txn = False
+
+    def rollback(self) -> None:
+        """Abort the open transaction, restoring pre-images."""
+        if not self._in_explicit_txn:
+            raise TransactionError("no transaction in progress")
+        self.pager.rollback()
+        self._in_explicit_txn = False
+
+    def checkpoint(self) -> int:
+        """Force a WAL checkpoint; returns pages written to the db file."""
+        if self._in_explicit_txn:
+            raise TransactionError("cannot checkpoint inside a transaction")
+        return self.wal.checkpoint()
+
+    def close(self) -> None:
+        """Orderly shutdown: SQLite checkpoints when the last session
+        closes, so all state ends up in the database file and the log is
+        empty."""
+        if self._in_explicit_txn:
+            raise TransactionError("cannot close inside a transaction")
+        self.wal.checkpoint()
+
+    def _autocommit(self, stmt: ast.Statement, params: tuple):
+        self.pager.begin()
+        self._in_explicit_txn = True
+        try:
+            result = self.executor.run(stmt, params)
+        except BaseException:
+            if self.pager.in_transaction:
+                self.pager.rollback()
+            self._in_explicit_txn = False
+            raise
+        self._commit_pager_txn()
+        self._in_explicit_txn = False
+        return result
+
+    def _commit_pager_txn(self) -> None:
+        self.system.cpu.compute(
+            self.system.config.db_costs.txn_base_ns, TimeBucket.CPU
+        )
+        dirty = self.pager.dirty_pages()
+        self.wal.write_transaction(
+            dirty, commit=True, pre_images=self.pager.pre_images()
+        )
+        self.pager.commit_finish()
+        if self.auto_checkpoint:
+            self.wal.maybe_checkpoint()
+
+    # ------------------------------------------------------------------
+    # catalog
+    # ------------------------------------------------------------------
+
+    def _catalog_tree(self) -> BTree:
+        root = self.pager.catalog_root
+        if root == 0:
+            tree = BTree.create(self.pager)
+            self.pager.catalog_root = tree.root
+            return tree
+        return BTree(self.pager, root)
+
+    def _load_tables(self) -> dict[str, TableInfo]:
+        cookie = self.pager.schema_cookie
+        if cookie == self._tables_cookie:
+            return self._tables_cache
+        tables: dict[str, TableInfo] = {}
+        if self.pager.catalog_root != 0:
+            catalog = BTree(self.pager, self.pager.catalog_root)
+            for table_id, payload in catalog.scan():
+                try:
+                    name, root, columns_spec, key_index = decode_row(payload)
+                    columns = _decode_columns(columns_spec)
+                except Exception as exc:
+                    raise DatabaseError(
+                        f"corrupt catalog entry {table_id}"
+                    ) from exc
+                tables[name] = TableInfo(
+                    table_id, name, root, columns,
+                    key_index if key_index >= 0 else None,
+                )
+        self._tables_cache = tables
+        self._tables_cookie = cookie
+        return tables
+
+    def table(self, name: str) -> TableInfo:
+        """Catalog entry for ``name``; raises :class:`TableError`."""
+        tables = self._load_tables()
+        if name not in tables:
+            raise TableError(f"no such table: {name}")
+        return tables[name]
+
+    def table_exists(self, name: str) -> bool:
+        """Whether ``name`` is in the catalog."""
+        return name in self._load_tables()
+
+    def table_names(self) -> list[str]:
+        """All table names, sorted."""
+        return sorted(self._load_tables())
+
+    def table_tree(self, info: TableInfo) -> BTree:
+        """The B-tree holding a table's rows."""
+        return BTree(self.pager, info.root)
+
+    def create_table(self, name: str, columns: tuple[ast.ColumnDef, ...]) -> None:
+        """Create a table (must run inside a transaction)."""
+        if self.table_exists(name):
+            raise TableError(f"table {name} already exists")
+        primaries = [i for i, c in enumerate(columns) if c.primary_key]
+        if len(primaries) > 1:
+            raise TableError("only one PRIMARY KEY column is supported")
+        key_index = primaries[0] if primaries else -1
+        if key_index >= 0 and columns[key_index].type != "INTEGER":
+            raise TableError("PRIMARY KEY column must be INTEGER")
+        catalog = self._catalog_tree()
+        table_id = self.pager.schema_cookie + 1
+        self.pager.schema_cookie = table_id
+        tree = BTree.create(self.pager)
+        payload = encode_row(
+            (name, tree.root, _encode_columns(columns), key_index)
+        )
+        catalog.insert(table_id, payload)
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and free its pages (overflow chains included)."""
+        info = self.table(name)
+        self.table_tree(info).free_all()
+        catalog = self._catalog_tree()
+        catalog.delete(info.table_id)
+        self.pager.schema_cookie = self.pager.schema_cookie + 1
+
+    def next_rowid(self, info: TableInfo) -> int:
+        """SQLite-style auto rowid: one past the largest existing key."""
+        max_key = self.table_tree(info).max_key()
+        return 1 if max_key is None else max_key + 1
+
+    # ------------------------------------------------------------------
+    # introspection used by tests and benchmarks
+    # ------------------------------------------------------------------
+
+    def row_count(self, name: str) -> int:
+        """Number of rows in table ``name``."""
+        return self.table_tree(self.table(name)).count()
+
+    def dump_table(self, name: str) -> list[tuple]:
+        """All rows of ``name`` in key order (stable across backends;
+        used to assert scheme equivalence)."""
+        info = self.table(name)
+        return [decode_row(payload) for _k, payload in self.table_tree(info).scan()]
+
+
+def _encode_columns(columns: tuple[ast.ColumnDef, ...]) -> str:
+    return ",".join(
+        f"{c.name}:{c.type}:{1 if c.primary_key else 0}" for c in columns
+    )
+
+
+def _decode_columns(spec: str) -> tuple[ast.ColumnDef, ...]:
+    out = []
+    for part in spec.split(","):
+        name, sql_type, primary = part.split(":")
+        out.append(ast.ColumnDef(name, sql_type, primary == "1"))
+    return tuple(out)

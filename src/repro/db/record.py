@@ -1,0 +1,116 @@
+"""Row serialization.
+
+Rows are tuples of typed values (NULL, INTEGER, REAL, TEXT, BLOB — the
+SQLite type system minus its affinity quirks).  A row is encoded as a
+one-byte column count followed by tag-length-value fields; the encoding is
+self-describing so the B-tree does not need the schema to move cells
+around.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import DatabaseError
+
+Value = None | int | float | str | bytes
+
+_TAG_NULL = 0
+_TAG_INT = 1
+_TAG_REAL = 2
+_TAG_TEXT = 3
+_TAG_BLOB = 4
+
+#: SQL type names accepted by CREATE TABLE, mapped to a validator.
+SQL_TYPES = ("INTEGER", "REAL", "TEXT", "BLOB")
+
+
+def encode_value(value: Value) -> bytes:
+    """Encode one typed value as tag + payload."""
+    if value is None:
+        return bytes([_TAG_NULL])
+    if isinstance(value, bool):
+        # bools are ints in Python; store them as integers explicitly.
+        return bytes([_TAG_INT]) + struct.pack("<q", int(value))
+    if isinstance(value, int):
+        return bytes([_TAG_INT]) + struct.pack("<q", value)
+    if isinstance(value, float):
+        return bytes([_TAG_REAL]) + struct.pack("<d", value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        _check_length(len(raw))
+        return bytes([_TAG_TEXT]) + struct.pack("<H", len(raw)) + raw
+    if isinstance(value, bytes):
+        _check_length(len(value))
+        return bytes([_TAG_BLOB]) + struct.pack("<H", len(value)) + value
+    raise DatabaseError(f"unsupported value type: {type(value).__name__}")
+
+
+def _check_length(length: int) -> None:
+    if length > 0xFFFF:
+        raise DatabaseError(
+            f"TEXT/BLOB values are limited to 65535 bytes (got {length})"
+        )
+
+
+def decode_value(buf: bytes, offset: int) -> tuple[Value, int]:
+    """Decode one value at ``offset``; return (value, next_offset)."""
+    tag = buf[offset]
+    offset += 1
+    if tag == _TAG_NULL:
+        return None, offset
+    if tag == _TAG_INT:
+        return struct.unpack_from("<q", buf, offset)[0], offset + 8
+    if tag == _TAG_REAL:
+        return struct.unpack_from("<d", buf, offset)[0], offset + 8
+    if tag in (_TAG_TEXT, _TAG_BLOB):
+        length = struct.unpack_from("<H", buf, offset)[0]
+        offset += 2
+        raw = buf[offset : offset + length]
+        offset += length
+        if tag == _TAG_TEXT:
+            return raw.decode("utf-8"), offset
+        return bytes(raw), offset
+    raise DatabaseError(f"corrupt record: unknown value tag {tag}")
+
+
+def encode_row(values: tuple[Value, ...] | list[Value]) -> bytes:
+    """Encode a full row."""
+    if len(values) > 255:
+        raise DatabaseError(f"too many columns: {len(values)}")
+    parts = [bytes([len(values)])]
+    parts.extend(encode_value(v) for v in values)
+    return b"".join(parts)
+
+
+def decode_row(buf: bytes) -> tuple[Value, ...]:
+    """Decode a full row."""
+    if not buf:
+        raise DatabaseError("corrupt record: empty payload")
+    count = buf[0]
+    values = []
+    offset = 1
+    for _ in range(count):
+        value, offset = decode_value(buf, offset)
+        values.append(value)
+    return tuple(values)
+
+
+def validate_type(value: Value, sql_type: str, column: str) -> None:
+    """Check ``value`` against a declared column type (NULL always passes)."""
+    if value is None:
+        return
+    expectations = {
+        "INTEGER": int,
+        "REAL": (int, float),
+        "TEXT": str,
+        "BLOB": bytes,
+    }
+    expected = expectations.get(sql_type)
+    if expected is None:
+        raise DatabaseError(f"unknown SQL type {sql_type!r}")
+    if not isinstance(value, expected):
+        raise DatabaseError(
+            f"type mismatch for column {column!r}: expected {sql_type}, "
+            f"got {type(value).__name__}"
+        )

@@ -1,0 +1,14 @@
+"""Mini SQL front end.
+
+Covers the statement shapes the paper's Mobibench workload issues against
+SQLite — CREATE TABLE / INSERT / SELECT / UPDATE / DELETE plus explicit
+transactions — so examples and benchmarks read like real SQLite client
+code.  The pipeline is classic: :mod:`lexer` → :mod:`parser` →
+:mod:`ast_nodes` → :mod:`executor`.
+"""
+
+from repro.db.sql.ast_nodes import Statement
+from repro.db.sql.executor import Executor
+from repro.db.sql.parser import parse
+
+__all__ = ["Executor", "Statement", "parse"]

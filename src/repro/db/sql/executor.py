@@ -1,0 +1,350 @@
+"""SQL statement execution against the storage engine."""
+
+from __future__ import annotations
+
+from repro.db.record import decode_row, encode_row, validate_type
+from repro.db.sql import ast_nodes as ast
+from repro.errors import KeyNotFound, SqlError
+
+_MIN_KEY = -(2**63)
+_MAX_KEY = 2**63 - 1
+
+
+class Executor:
+    """Evaluates parsed statements.
+
+    The only access-path optimization is the one that matters for the
+    Mobibench workload: WHERE clauses constraining the INTEGER PRIMARY KEY
+    become point lookups or range scans; everything else is a full scan.
+    """
+
+    def __init__(self, database) -> None:
+        self.db = database
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def run(self, stmt: ast.Statement, params: tuple) -> list[tuple] | int:
+        """Execute one (non-transaction-control) statement."""
+        if isinstance(stmt, ast.CreateTable):
+            return self._create_table(stmt)
+        if isinstance(stmt, ast.DropTable):
+            self.db.drop_table(stmt.name)
+            return 0
+        if isinstance(stmt, ast.Insert):
+            return self._insert(stmt, params)
+        if isinstance(stmt, ast.Select):
+            return self._select(stmt, params)
+        if isinstance(stmt, ast.Update):
+            return self._update(stmt, params)
+        if isinstance(stmt, ast.Delete):
+            return self._delete(stmt, params)
+        raise SqlError(f"cannot execute {type(stmt).__name__} here")
+
+    def _create_table(self, stmt: ast.CreateTable) -> int:
+        if stmt.if_not_exists and self.db.table_exists(stmt.name):
+            return 0
+        self.db.create_table(stmt.name, stmt.columns)
+        return 0
+
+    # ------------------------------------------------------------------
+    # INSERT
+    # ------------------------------------------------------------------
+
+    def _insert(self, stmt: ast.Insert, params: tuple) -> int:
+        table = self.db.table(stmt.table)
+        names = [c.name for c in table.columns]
+        count = 0
+        for row_exprs in stmt.rows:
+            values = [_eval(e, None, params) for e in row_exprs]
+            if stmt.columns is not None:
+                if len(values) != len(stmt.columns):
+                    raise SqlError("VALUES arity does not match column list")
+                by_name = dict(zip(stmt.columns, values))
+                unknown = set(by_name) - set(names)
+                if unknown:
+                    raise SqlError(f"unknown columns {sorted(unknown)}")
+                values = [by_name.get(n) for n in names]
+            elif len(values) != len(names):
+                raise SqlError(
+                    f"table {table.name} has {len(names)} columns but "
+                    f"{len(values)} values were supplied"
+                )
+            for value, col in zip(values, table.columns):
+                validate_type(value, col.type, col.name)
+            key = self._key_for_insert(table, values)
+            if table.key_index is not None:
+                values[table.key_index] = key
+            self.db.table_tree(table).insert(
+                key, encode_row(values), replace=stmt.or_replace
+            )
+            count += 1
+        return count
+
+    def _key_for_insert(self, table, values: list) -> int:
+        if table.key_index is None:
+            return self.db.next_rowid(table)
+        key = values[table.key_index]
+        if key is None:
+            # SQLite semantics: NULL primary key auto-assigns max+1.
+            return self.db.next_rowid(table)
+        if not isinstance(key, int):
+            raise SqlError("PRIMARY KEY values must be integers")
+        return key
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+
+    def _select(self, stmt: ast.Select, params: tuple) -> list[tuple]:
+        table = self.db.table(stmt.table)
+        names = [c.name for c in table.columns]
+        rows = list(self._matching_rows(table, stmt.where, params))
+        if stmt.aggregate is not None:
+            return [self._aggregate(stmt.aggregate, names, rows)]
+        if stmt.order_by is not None:
+            if stmt.order_by not in names:
+                raise SqlError(f"unknown ORDER BY column {stmt.order_by!r}")
+            idx = names.index(stmt.order_by)
+            rows.sort(
+                key=lambda kv: (kv[1][idx] is None, kv[1][idx]),
+                reverse=stmt.descending,
+            )
+        if stmt.limit is not None:
+            rows = rows[: stmt.limit]
+        if stmt.columns is None:
+            return [values for _key, values in rows]
+        indices = []
+        for name in stmt.columns:
+            if name not in names:
+                raise SqlError(f"unknown column {name!r}")
+            indices.append(names.index(name))
+        return [tuple(values[i] for i in indices) for _key, values in rows]
+
+    def _aggregate(
+        self, aggregate: tuple[str, str | None], names: list[str], rows
+    ) -> tuple:
+        """Evaluate COUNT/SUM/MIN/MAX/AVG over the matching rows.
+
+        SQL semantics: NULLs are skipped; SUM/MIN/MAX/AVG of no values is
+        NULL, COUNT of no rows is 0."""
+        func, column = aggregate
+        if func == "COUNT" and column is None:
+            return (len(rows),)
+        if column not in names:
+            raise SqlError(f"unknown column {column!r}")
+        idx = names.index(column)
+        values = [r[1][idx] for r in rows if r[1][idx] is not None]
+        if func == "COUNT":
+            return (len(values),)
+        if not values:
+            return (None,)
+        if func == "SUM":
+            return (sum(values),)
+        if func == "MIN":
+            return (min(values),)
+        if func == "MAX":
+            return (max(values),)
+        if func == "AVG":
+            return (sum(values) / len(values),)
+        raise SqlError(f"unknown aggregate {func}")
+
+    # ------------------------------------------------------------------
+    # UPDATE / DELETE
+    # ------------------------------------------------------------------
+
+    def _update(self, stmt: ast.Update, params: tuple) -> int:
+        table = self.db.table(stmt.table)
+        names = [c.name for c in table.columns]
+        for name, _expr in stmt.assignments:
+            if name not in names:
+                raise SqlError(f"unknown column {name!r}")
+        tree = self.db.table_tree(table)
+        matches = list(self._matching_rows(table, stmt.where, params))
+        count = 0
+        for key, values in matches:
+            row = dict(zip(names, values))
+            new_values = list(values)
+            for name, expr in stmt.assignments:
+                new_values[names.index(name)] = _eval(expr, row, params)
+            for value, col in zip(new_values, table.columns):
+                validate_type(value, col.type, col.name)
+            new_key = key
+            if table.key_index is not None:
+                new_key = new_values[table.key_index]
+                if not isinstance(new_key, int):
+                    raise SqlError("PRIMARY KEY values must be integers")
+            if new_key != key:
+                tree.delete(key)
+                tree.insert(new_key, encode_row(new_values))
+            else:
+                tree.update(key, encode_row(new_values))
+            count += 1
+        return count
+
+    def _delete(self, stmt: ast.Delete, params: tuple) -> int:
+        table = self.db.table(stmt.table)
+        tree = self.db.table_tree(table)
+        keys = [key for key, _ in self._matching_rows(table, stmt.where, params)]
+        for key in keys:
+            tree.delete(key)
+        return len(keys)
+
+    # ------------------------------------------------------------------
+    # row access with key-range planning
+    # ------------------------------------------------------------------
+
+    def _matching_rows(self, table, where: ast.Expr | None, params: tuple):
+        """Yield (key, decoded_row) for rows matching ``where``."""
+        names = [c.name for c in table.columns]
+        tree = self.db.table_tree(table)
+        lo, hi, residual = self._plan_key_range(table, where, params)
+        for key, payload in tree.scan(lo, hi):
+            values = decode_row(payload)
+            if residual is None or _truthy(
+                _eval(residual, dict(zip(names, values)), params)
+            ):
+                yield key, values
+
+    def _plan_key_range(self, table, where: ast.Expr | None, params: tuple):
+        """Extract key bounds from AND-ed comparisons on the primary key.
+
+        Returns (lo, hi, residual_predicate); the residual still runs on
+        every scanned row (bounds only narrow the scan, they never replace
+        the filter, so inexact extraction stays correct).
+        """
+        if where is None or table.key_index is None:
+            return None, None, where
+        key_name = table.columns[table.key_index].name
+        lo: int | None = None
+        hi: int | None = None
+        for conj in _conjuncts(where):
+            bound = _key_bound(conj, key_name, params)
+            if bound is None:
+                continue
+            op, value = bound
+            if op in ("=",):
+                lo = value if lo is None else max(lo, value)
+                hi = value if hi is None else min(hi, value)
+            elif op in (">", ">="):
+                adjusted = value + 1 if op == ">" else value
+                lo = adjusted if lo is None else max(lo, adjusted)
+            elif op in ("<", "<="):
+                adjusted = value - 1 if op == "<" else value
+                hi = adjusted if hi is None else min(hi, adjusted)
+        return lo, hi, where
+
+
+def _conjuncts(expr: ast.Expr) -> list[ast.Expr]:
+    if isinstance(expr, ast.BinOp) and expr.op == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _key_bound(expr: ast.Expr, key_name: str, params: tuple):
+    """If ``expr`` is ``key <op> constant`` (either side), return
+    (normalized_op, int_value), else None."""
+    if not isinstance(expr, ast.BinOp):
+        return None
+    flip = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "="}
+    op, left, right = expr.op, expr.left, expr.right
+    if isinstance(right, ast.Column) and right.name == key_name:
+        left, right = right, left
+        op = flip.get(op)
+    if op is None or not (isinstance(left, ast.Column) and left.name == key_name):
+        return None
+    if not _is_constant(right):
+        return None
+    if op not in ("=", "<", ">", "<=", ">="):
+        return None
+    value = _eval(right, None, params)
+    if not isinstance(value, int):
+        return None
+    return op, value
+
+
+def _is_constant(expr: ast.Expr) -> bool:
+    if isinstance(expr, (ast.Literal, ast.Param)):
+        return True
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        return _is_constant(expr.operand)
+    return False
+
+
+def _truthy(value) -> bool:
+    return bool(value) and value is not None
+
+
+def _eval(expr: ast.Expr, row: dict | None, params: tuple):
+    """Evaluate an expression; ``row`` maps column names to values."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Param):
+        if expr.index >= len(params):
+            raise SqlError(
+                f"statement has parameter ?{expr.index + 1} but only "
+                f"{len(params)} values were supplied"
+            )
+        return params[expr.index]
+    if isinstance(expr, ast.Column):
+        if row is None:
+            raise SqlError(f"column {expr.name!r} not allowed here")
+        if expr.name not in row:
+            raise SqlError(f"unknown column {expr.name!r}")
+        return row[expr.name]
+    if isinstance(expr, ast.UnaryOp):
+        value = _eval(expr.operand, row, params)
+        if expr.op == "NOT":
+            return not _truthy(value)
+        if expr.op == "-":
+            return -value if value is not None else None
+        raise SqlError(f"unknown unary operator {expr.op}")
+    if isinstance(expr, ast.BinOp):
+        return _eval_binop(expr, row, params)
+    raise SqlError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _eval_binop(expr: ast.BinOp, row: dict | None, params: tuple):
+    op = expr.op
+    if op == "AND":
+        return _truthy(_eval(expr.left, row, params)) and _truthy(
+            _eval(expr.right, row, params)
+        )
+    if op == "OR":
+        return _truthy(_eval(expr.left, row, params)) or _truthy(
+            _eval(expr.right, row, params)
+        )
+    left = _eval(expr.left, row, params)
+    if op == "IS NULL":
+        return left is None
+    right = _eval(expr.right, row, params)
+    if op in ("=", "!=", "<", ">", "<=", ">="):
+        if left is None or right is None:
+            return False
+        try:
+            return {
+                "=": left == right,
+                "!=": left != right,
+                "<": left < right,
+                ">": left > right,
+                "<=": left <= right,
+                ">=": left >= right,
+            }[op]
+        except TypeError:
+            raise SqlError(
+                f"cannot compare {type(left).__name__} with {type(right).__name__}"
+            ) from None
+    if left is None or right is None:
+        return None
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise SqlError("division by zero")
+        return left / right if isinstance(left, float) or isinstance(right, float) else left // right
+    raise SqlError(f"unknown operator {op}")

@@ -1,0 +1,330 @@
+"""Recursive-descent SQL parser."""
+
+from __future__ import annotations
+
+from repro.db.record import SQL_TYPES
+from repro.db.sql import ast_nodes as ast
+from repro.db.sql.lexer import Token, tokenize
+from repro.errors import SqlError
+
+
+def parse(text: str) -> ast.Statement:
+    """Parse one SQL statement."""
+    return _Parser(tokenize(text), text).parse_statement()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], text: str) -> None:
+        self.tokens = tokens
+        self.text = text
+        self.pos = 0
+        self.param_count = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def accept(self, kind: str, value: object = None) -> Token | None:
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: object = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            actual = self.peek()
+            want = value if value is not None else kind
+            raise SqlError(
+                f"expected {want} but found {actual.value!r} "
+                f"at position {actual.pos} in {self.text!r}"
+            )
+        return token
+
+    def _expect_word(self, word: str) -> None:
+        """Expect a soft keyword (lexed as an identifier)."""
+        token = self.peek()
+        if token.kind == "ident" and token.value.upper() == word:
+            self.advance()
+            return
+        raise SqlError(
+            f"expected {word} but found {token.value!r} at position {token.pos}"
+        )
+
+    def _peek_word(self, word: str, offset: int = 0) -> bool:
+        token = self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+        return token.kind == "ident" and token.value.upper() == word
+
+    # -- statements ------------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        statement = self._statement()
+        self.accept("punct", ";")
+        self.expect("eof")
+        return statement
+
+    def _statement(self) -> ast.Statement:
+        token = self.peek()
+        if token.kind != "keyword":
+            raise SqlError(f"statement must start with a keyword, got {token.value!r}")
+        dispatch = {
+            "CREATE": self._create_table,
+            "DROP": self._drop_table,
+            "INSERT": self._insert,
+            "SELECT": self._select,
+            "UPDATE": self._update,
+            "DELETE": self._delete,
+            "BEGIN": self._begin,
+            "COMMIT": self._simple(ast.Commit),
+            "ROLLBACK": self._simple(ast.Rollback),
+            "CHECKPOINT": self._simple(ast.Checkpoint),
+        }
+        handler = dispatch.get(token.value)
+        if handler is None:
+            raise SqlError(f"unsupported statement {token.value}")
+        return handler()
+
+    def _simple(self, node_cls):
+        def build():
+            self.advance()
+            return node_cls()
+
+        return build
+
+    def _begin(self) -> ast.Begin:
+        self.expect("keyword", "BEGIN")
+        self.accept("keyword", "TRANSACTION")
+        return ast.Begin()
+
+    def _create_table(self) -> ast.CreateTable:
+        self.expect("keyword", "CREATE")
+        self.expect("keyword", "TABLE")
+        if_not_exists = False
+        if self.accept("keyword", "IF"):
+            self.expect("keyword", "NOT")
+            self.expect("keyword", "EXISTS")
+            if_not_exists = True
+        name = self.expect("ident").value
+        self.expect("punct", "(")
+        columns = []
+        while True:
+            col_name = self.expect("ident").value
+            type_token = self.peek()
+            if type_token.kind == "ident" and type_token.value.upper() in SQL_TYPES:
+                col_type = self.advance().value.upper()
+            else:
+                raise SqlError(
+                    f"column {col_name!r} needs a type from {SQL_TYPES}"
+                )
+            primary = False
+            if self.accept("keyword", "PRIMARY"):
+                self._expect_word("KEY")
+                primary = True
+            columns.append(ast.ColumnDef(col_name, col_type, primary))
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", ")")
+        return ast.CreateTable(name, tuple(columns), if_not_exists)
+
+    def _drop_table(self) -> ast.DropTable:
+        self.expect("keyword", "DROP")
+        self.expect("keyword", "TABLE")
+        return ast.DropTable(self.expect("ident").value)
+
+    def _insert(self) -> ast.Insert:
+        self.expect("keyword", "INSERT")
+        or_replace = False
+        if self.accept("keyword", "OR"):
+            self.expect("keyword", "REPLACE")
+            or_replace = True
+        self.expect("keyword", "INTO")
+        table = self.expect("ident").value
+        columns = None
+        if self.accept("punct", "("):
+            names = [self.expect("ident").value]
+            while self.accept("punct", ","):
+                names.append(self.expect("ident").value)
+            self.expect("punct", ")")
+            columns = tuple(names)
+        self.expect("keyword", "VALUES")
+        rows = [self._value_tuple()]
+        while self.accept("punct", ","):
+            rows.append(self._value_tuple())
+        return ast.Insert(table, columns, tuple(rows), or_replace)
+
+    def _value_tuple(self) -> tuple[ast.Expr, ...]:
+        self.expect("punct", "(")
+        values = [self._expr()]
+        while self.accept("punct", ","):
+            values.append(self._expr())
+        self.expect("punct", ")")
+        return tuple(values)
+
+    _AGGREGATES = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+
+    def _select(self) -> ast.Select:
+        self.expect("keyword", "SELECT")
+        aggregate: tuple[str, str | None] | None = None
+        columns: tuple[str, ...] | None = None
+        next_token = self.tokens[min(self.pos + 1, len(self.tokens) - 1)]
+        next_is_paren = next_token.kind == "punct" and next_token.value == "("
+        agg_word = next(
+            (w for w in self._AGGREGATES if self._peek_word(w)), None
+        )
+        if agg_word is not None and next_is_paren:
+            self.advance()
+            self.expect("punct", "(")
+            if self.accept("punct", "*"):
+                if agg_word != "COUNT":
+                    raise SqlError(f"{agg_word}(*) is not supported")
+                aggregate = ("COUNT", None)
+            else:
+                aggregate = (agg_word, self.expect("ident").value)
+            self.expect("punct", ")")
+        elif self.accept("punct", "*"):
+            columns = None
+        else:
+            names = [self.expect("ident").value]
+            while self.accept("punct", ","):
+                names.append(self.expect("ident").value)
+            columns = tuple(names)
+        self.expect("keyword", "FROM")
+        table = self.expect("ident").value
+        where = self._expr() if self.accept("keyword", "WHERE") else None
+        order_by = None
+        descending = False
+        if self.accept("keyword", "ORDER"):
+            self.expect("keyword", "BY")
+            order_by = self.expect("ident").value
+            if self.accept("keyword", "DESC"):
+                descending = True
+            else:
+                self.accept("keyword", "ASC")
+        limit = None
+        if self.accept("keyword", "LIMIT"):
+            limit = self.expect("int").value
+        return ast.Select(
+            columns, table, where, order_by, descending, limit, aggregate
+        )
+
+    def _update(self) -> ast.Update:
+        self.expect("keyword", "UPDATE")
+        table = self.expect("ident").value
+        self.expect("keyword", "SET")
+        assignments = [self._assignment()]
+        while self.accept("punct", ","):
+            assignments.append(self._assignment())
+        where = self._expr() if self.accept("keyword", "WHERE") else None
+        return ast.Update(table, tuple(assignments), where)
+
+    def _assignment(self) -> tuple[str, ast.Expr]:
+        name = self.expect("ident").value
+        self.expect("punct", "=")
+        return name, self._expr()
+
+    def _delete(self) -> ast.Delete:
+        self.expect("keyword", "DELETE")
+        self.expect("keyword", "FROM")
+        table = self.expect("ident").value
+        where = self._expr() if self.accept("keyword", "WHERE") else None
+        return ast.Delete(table, where)
+
+    # -- expressions (precedence climbing) ------------------------------------
+
+    def _expr(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self.accept("keyword", "OR"):
+            left = ast.BinOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._not_expr()
+        while self.accept("keyword", "AND"):
+            left = ast.BinOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.Expr:
+        if self.accept("keyword", "NOT"):
+            return ast.UnaryOp("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expr:
+        left = self._additive()
+        token = self.peek()
+        if token.kind == "punct" and token.value in ("=", "<", ">", "<=", ">=", "!=", "<>"):
+            op = self.advance().value
+            if op == "<>":
+                op = "!="
+            return ast.BinOp(op, left, self._additive())
+        if token.kind == "keyword" and token.value == "IS":
+            self.advance()
+            negate = self.accept("keyword", "NOT") is not None
+            self.expect("keyword", "NULL")
+            node = ast.BinOp("IS NULL", left, ast.Literal(None))
+            return ast.UnaryOp("NOT", node) if negate else node
+        if token.kind == "keyword" and token.value == "BETWEEN":
+            self.advance()
+            low = self._additive()
+            self.expect("keyword", "AND")
+            high = self._additive()
+            return ast.BinOp(
+                "AND", ast.BinOp(">=", left, low), ast.BinOp("<=", left, high)
+            )
+        return left
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "punct" and token.value in ("+", "-"):
+                op = self.advance().value
+                left = ast.BinOp(op, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while True:
+            token = self.peek()
+            if token.kind == "punct" and token.value in ("*", "/"):
+                op = self.advance().value
+                left = ast.BinOp(op, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> ast.Expr:
+        if self.accept("punct", "-"):
+            return ast.UnaryOp("-", self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind in ("int", "float", "string"):
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == "keyword" and token.value == "NULL":
+            self.advance()
+            return ast.Literal(None)
+        if token.kind == "punct" and token.value == "?":
+            self.advance()
+            index = self.param_count
+            self.param_count += 1
+            return ast.Param(index)
+        if token.kind == "punct" and token.value == "(":
+            self.advance()
+            expr = self._expr()
+            self.expect("punct", ")")
+            return expr
+        if token.kind == "ident":
+            self.advance()
+            return ast.Column(token.value)
+        raise SqlError(f"unexpected token {token.value!r} at position {token.pos}")

@@ -1,0 +1,134 @@
+"""Exception hierarchy for the NVWAL reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Hardware simulation errors
+# ---------------------------------------------------------------------------
+
+
+class HardwareError(ReproError):
+    """Base class for simulated-hardware errors."""
+
+
+class AddressError(HardwareError):
+    """An access touched an address outside any mapped device region."""
+
+
+class AlignmentError(HardwareError):
+    """An operation violated a required alignment (e.g. 8-byte persist)."""
+
+
+class PowerFailure(HardwareError):
+    """Raised by crash injection to unwind the software stack.
+
+    Catching this exception models the machine losing power: all volatile
+    simulated state has already been discarded by the time it propagates.
+    """
+
+
+# ---------------------------------------------------------------------------
+# NVRAM heap errors
+# ---------------------------------------------------------------------------
+
+
+class HeapError(ReproError):
+    """Base class for persistent-heap errors."""
+
+
+class OutOfNvram(HeapError):
+    """The NVRAM device has no free blocks left."""
+
+
+class BadHandle(HeapError):
+    """An operation referenced an unknown or already-freed allocation."""
+
+
+class HeapStateError(HeapError):
+    """An allocation was used in a state that does not permit the operation
+    (e.g. marking a ``free`` block as ``in-use`` without pre-allocation)."""
+
+
+# ---------------------------------------------------------------------------
+# Storage / filesystem errors
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for block-device and filesystem errors."""
+
+
+class NoSuchFile(StorageError):
+    """Lookup of a file name that does not exist."""
+
+
+class FileExists(StorageError):
+    """Attempt to create a file name that already exists."""
+
+
+class OutOfSpace(StorageError):
+    """The block device has no free blocks left."""
+
+
+class FsConsistencyError(StorageError):
+    """The filesystem detected corrupted on-device metadata."""
+
+
+# ---------------------------------------------------------------------------
+# Database errors
+# ---------------------------------------------------------------------------
+
+
+class DatabaseError(ReproError):
+    """Base class for database-engine errors."""
+
+
+class SqlError(DatabaseError):
+    """Syntax or semantic error in a SQL statement."""
+
+
+class TableError(DatabaseError):
+    """Unknown table, duplicate table, or schema mismatch."""
+
+
+class TransactionError(DatabaseError):
+    """Illegal transaction state transition (e.g. nested writers)."""
+
+
+class KeyNotFound(DatabaseError):
+    """A keyed lookup (UPDATE/DELETE by key) found no matching row."""
+
+
+class DuplicateKey(DatabaseError):
+    """An INSERT supplied a key that already exists."""
+
+
+class PageError(DatabaseError):
+    """A slotted page was asked to do something impossible (overflow,
+    bad slot index, corrupt header)."""
+
+
+# ---------------------------------------------------------------------------
+# WAL errors
+# ---------------------------------------------------------------------------
+
+
+class WalError(ReproError):
+    """Base class for write-ahead-log errors."""
+
+
+class RecoveryError(WalError):
+    """Recovery found log state it cannot reconcile."""
+
+
+class ChecksumError(WalError):
+    """A frame checksum did not match its payload."""

@@ -1,0 +1,26 @@
+"""Simulated hardware substrate.
+
+This package models the pieces of the Tuna / Nexus 5 platforms that NVWAL's
+correctness and performance depend on: a nanosecond clock, a write-back CPU
+cache with a pipelined non-blocking flush unit, byte-addressable NVRAM with
+8-byte atomic persists, memory / persist barriers, and power-failure
+semantics that keep exactly the durable bytes (plus a seeded-random subset
+of in-flight ones).
+"""
+
+from repro.hw.cache import CacheHierarchy
+from repro.hw.clock import SimClock
+from repro.hw.cpu import Cpu
+from repro.hw.crash import CrashController
+from repro.hw.memory import NvramDevice
+from repro.hw.stats import Stats, TimeBucket
+
+__all__ = [
+    "CacheHierarchy",
+    "SimClock",
+    "Cpu",
+    "CrashController",
+    "NvramDevice",
+    "Stats",
+    "TimeBucket",
+]

@@ -1,0 +1,140 @@
+"""Write-back CPU cache model at cache-line granularity.
+
+Only NVRAM addresses are simulated through the cache: the interesting
+question for NVWAL is *which NVRAM bytes are durable when*, and the cache is
+the first volatile tier those bytes pass through.  DRAM-resident structures
+(B-tree pages, the SQLite page cache) are ordinary Python objects; their
+access cost is charged by the CPU cost model instead.
+
+The cache is modelled as an overlay: a dirty line holds the current
+(volatile) contents of its address range; loads fall back to the durable
+device contents for lines that are absent or clean.  ``dccmvac`` snapshots a
+dirty line into the flush pipeline and marks it clean — a store issued after
+the flush re-dirties the line and is *not* covered by the earlier flush,
+exactly the hazard that forces Algorithm 1's ``dmb``/flush/``dmb`` dance
+around the commit mark.
+"""
+
+from __future__ import annotations
+
+from repro.config import CacheConfig
+from repro.hw.memory import NvramDevice
+
+
+class CacheHierarchy:
+    """The (volatile) L1/L2 overlay in front of the NVRAM device."""
+
+    def __init__(self, config: CacheConfig, nvram: NvramDevice) -> None:
+        self.config = config
+        self.nvram = nvram
+        self.line_size = config.line_size
+        # line base address -> current line contents (bytearray)
+        self._lines: dict[int, bytearray] = {}
+        # line base addresses whose overlay contents differ from what has
+        # been handed to the flush pipeline / device; dict used as an
+        # insertion-ordered set so eviction can pick the oldest dirty line
+        self._dirty: dict[int, None] = {}
+
+    # -- geometry -----------------------------------------------------------
+
+    def line_base(self, addr: int) -> int:
+        """Base address of the cache line containing ``addr``."""
+        return addr - (addr % self.line_size)
+
+    def lines_covering(self, addr: int, length: int) -> list[int]:
+        """Base addresses of all lines overlapping [addr, addr+length)."""
+        if length <= 0:
+            return []
+        first = self.line_base(addr)
+        last = self.line_base(addr + length - 1)
+        return list(range(first, last + self.line_size, self.line_size))
+
+    # -- data path -----------------------------------------------------------
+
+    def _fill(self, base: int) -> bytearray:
+        """Return the overlay line at ``base``, filling from NVRAM on miss."""
+        line = self._lines.get(base)
+        if line is None:
+            line = bytearray(self.nvram.read(base, self.line_size))
+            self._lines[base] = line
+        return line
+
+    def store(self, addr: int, data: bytes) -> None:
+        """Write ``data`` at ``addr`` into the cache (volatile)."""
+        self.nvram.check_range(addr, len(data))
+        offset = 0
+        remaining = len(data)
+        while remaining > 0:
+            base = self.line_base(addr + offset)
+            line = self._fill(base)
+            in_line = (addr + offset) - base
+            chunk = min(remaining, self.line_size - in_line)
+            line[in_line : in_line + chunk] = data[offset : offset + chunk]
+            self._dirty.pop(base, None)
+            self._dirty[base] = None  # (re)insert as the youngest dirty line
+            offset += chunk
+            remaining -= chunk
+
+    def load(self, addr: int, length: int) -> bytes:
+        """Read the *volatile view*: cache contents where present, durable
+        device contents otherwise."""
+        self.nvram.check_range(addr, length)
+        out = bytearray(length)
+        offset = 0
+        while offset < length:
+            base = self.line_base(addr + offset)
+            in_line = (addr + offset) - base
+            chunk = min(length - offset, self.line_size - in_line)
+            line = self._lines.get(base)
+            if line is None:
+                out[offset : offset + chunk] = self.nvram.read(
+                    addr + offset, chunk
+                )
+            else:
+                out[offset : offset + chunk] = line[in_line : in_line + chunk]
+            offset += chunk
+        return bytes(out)
+
+    # -- flush support --------------------------------------------------------
+
+    def is_dirty(self, base: int) -> bool:
+        """Whether the line at ``base`` holds un-flushed stores."""
+        return base in self._dirty
+
+    def clean_line(self, base: int) -> bytes | None:
+        """Snapshot the line at ``base`` for the flush pipeline.
+
+        Marks the line clean and returns its contents, or ``None`` if the
+        line was not dirty (flushing a clean line is a no-op at the data
+        level, though the instruction still costs time).
+        """
+        if base not in self._dirty:
+            return None
+        self._dirty.pop(base)
+        return bytes(self._lines[base])
+
+    def dirty_lines(self) -> dict[int, bytes]:
+        """Snapshot of all dirty lines (used by the crash controller)."""
+        return {base: bytes(self._lines[base]) for base in self._dirty}
+
+    def evict_oldest_dirty(self) -> tuple[int, bytes] | None:
+        """Write-back eviction: remove and return the oldest dirty line.
+
+        Models capacity pressure in L1/L2: lines dirtied long ago migrate
+        toward memory on their own, which is what lets lazy synchronization
+        mask most of its flush latency behind memcpy (Section 5.1).
+        """
+        if not self._dirty:
+            return None
+        base = next(iter(self._dirty))
+        self._dirty.pop(base)
+        return base, bytes(self._lines[base])
+
+    def drop_all(self) -> None:
+        """Discard the entire overlay — what a power failure does."""
+        self._lines.clear()
+        self._dirty.clear()
+
+    def dirty_line_count(self) -> int:
+        """Number of currently dirty lines."""
+        return len(self._dirty)

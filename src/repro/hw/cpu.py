@@ -1,0 +1,268 @@
+"""Simulated CPU: stores, loads, memcpy, flush instructions, and barriers.
+
+This module is the moral equivalent of the paper's Algorithms 1 and 2 seen
+from below: it provides exactly the primitives NVWAL composes —
+
+* ``store`` / ``memcpy``: volatile writes into the cache overlay;
+* ``cache_line_flush(start, end)``: the Algorithm 2 system call that issues
+  one non-blocking ``dccmvac`` per covered cache line;
+* ``dmb()``: blocks until previously issued flushes complete (reach the
+  memory subsystem);
+* ``persist_barrier()``: drains the memory-subsystem queue into durable
+  NVRAM (the paper emulates this with a 1 usec delay);
+* ``compute(ns)``: charges database CPU work on the same clock.
+
+Timing model of the flush unit: ``dccmvac`` is non-blocking, so a flush
+issued while the pipeline is busy completes ``write_latency /
+pipeline_depth`` after its predecessor, while a flush issued to an idle
+pipeline completes a full ``write_latency`` later.  ``dmb`` waits for the
+last completion and therefore drains the pipeline — which is precisely why
+eager synchronization (flush + barrier per log entry, Figure 4b) is slower
+than lazy synchronization (batched flushes, one barrier, Figure 4c).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.hw import stats as statnames
+from repro.hw.cache import CacheHierarchy
+from repro.hw.clock import SimClock
+from repro.hw.memory import NvramDevice
+from repro.hw.stats import Stats, TimeBucket
+
+
+@dataclass
+class PendingPersist:
+    """A cache line travelling through the memory subsystem.
+
+    It has left the CPU cache (``dccmvac`` issued) but is not durable until
+    a persist barrier drains it — or a crash happens to land it.
+    """
+
+    addr: int
+    data: bytes
+    completion_ns: float
+
+
+class Cpu:
+    """One simulated core plus its cache and flush pipeline."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        clock: SimClock,
+        cache: CacheHierarchy,
+        nvram: NvramDevice,
+        stats: Stats,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.cache = cache
+        self.nvram = nvram
+        self.stats = stats
+        #: Lines in the memory subsystem awaiting a persist barrier.
+        self.pending: list[PendingPersist] = []
+        #: Completion time of the most recently issued flush.
+        self._pipeline_last_completion = 0.0
+        #: Optional crash hook, set by the CrashController; called once per
+        #: primitive operation so tests can fire a power failure at any step.
+        self.crash_hook = None
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+
+    def _tick(self, op: str) -> None:
+        if self.crash_hook is not None:
+            self.crash_hook(op)
+
+    # ------------------------------------------------------------------
+    # volatile data path
+    # ------------------------------------------------------------------
+
+    def store(self, addr: int, data: bytes) -> None:
+        """Plain store: volatile write into the cache, minimal cost."""
+        self._tick("store")
+        self.cache.store(addr, data)
+        self.clock.advance(self.config.cache.memcpy_ns_per_byte * len(data))
+        self.stats.add_time(
+            TimeBucket.CPU, self.config.cache.memcpy_ns_per_byte * len(data)
+        )
+
+    def memcpy(self, dst: int, data: bytes) -> None:
+        """Copy ``data`` to NVRAM address ``dst`` through the cache.
+
+        Charged at memcpy cost; the bytes are *not* durable afterwards —
+        they sit in the cache until flushed and barriered (or evicted, which
+        the crash controller models probabilistically).
+        """
+        self._tick("memcpy")
+        cost = (
+            self.config.cache.memcpy_base_ns
+            + self.config.cache.memcpy_ns_per_byte * len(data)
+        )
+        self.cache.store(dst, data)
+        self.clock.advance(cost)
+        self.stats.add_time(TimeBucket.MEMCPY, cost)
+        self.stats.count("memcpy_bytes", len(data))
+        self._evict_excess()
+
+    def _evict_excess(self) -> None:
+        """Capacity write-back: lines dirtied long ago migrate to the
+        memory subsystem while the CPU keeps copying — their write latency
+        hides under the memcpy, so a later dccmvac for them is nearly free
+        (lazy synchronization's masking effect, Section 5.1)."""
+        threshold = self.config.cache.eviction_threshold_lines
+        while self.cache.dirty_line_count() > threshold:
+            evicted = self.cache.evict_oldest_dirty()
+            if evicted is None:
+                break
+            addr, data = evicted
+            self.pending.append(PendingPersist(addr, data, self.clock.now_ns))
+            self.stats.count("cache_evictions")
+
+    def load(self, addr: int, length: int) -> bytes:
+        """Read the volatile view of NVRAM (cache overlay over device)."""
+        cost = self.config.nvram.read_latency_ns * max(
+            1, length // self.config.cache.line_size
+        )
+        self.clock.advance(cost)
+        self.stats.add_time(TimeBucket.CPU, cost)
+        return self.cache.load(addr, length)
+
+    def load_free(self, addr: int, length: int) -> bytes:
+        """Volatile read without a time charge (for assertions in tests and
+        for recovery-time bulk scans whose cost is charged separately)."""
+        return self.cache.load(addr, length)
+
+    # ------------------------------------------------------------------
+    # flush instructions
+    # ------------------------------------------------------------------
+
+    def dccmvac(self, line_base: int) -> None:
+        """Issue one non-blocking cache-line flush (clean to PoC by MVA).
+
+        Flushing a *clean* line (e.g. one that capacity eviction already
+        wrote back during memcpy) costs only the instruction.  Flushing a
+        *dirty* line additionally stalls for one pipeline interval: the
+        flush unit cannot inject lines faster than the NVRAM write
+        bandwidth.  This asymmetry is what makes lazy synchronization's
+        flushes "masked by the overhead of memcpy()" while eager
+        synchronization, which always flushes cache-hot lines, pays full
+        price (Section 5.1, Figure 5).
+        """
+        self._tick("dccmvac")
+        issue = self.config.cache.flush_issue_ns
+        self.clock.advance(issue)
+        self.stats.add_time(TimeBucket.DCCMVAC, issue)
+        self.stats.count(statnames.FLUSHES)
+
+        data = self.cache.clean_line(line_base)
+        if data is None:
+            # Flushing a clean line costs the instruction but moves no data.
+            return
+        latency = self.config.nvram.write_latency_ns
+        interval = latency / self.config.cache.pipeline_depth
+        self.clock.advance(interval)  # injection backpressure
+        self.stats.add_time(TimeBucket.DCCMVAC, interval)
+        now = self.clock.now_ns
+        if self._pipeline_last_completion <= now:
+            completion = now + latency
+        else:
+            completion = self._pipeline_last_completion + interval
+        self._pipeline_last_completion = completion
+        self.pending.append(PendingPersist(line_base, data, completion))
+
+    def cache_line_flush(self, start: int, end: int) -> None:
+        """The Algorithm 2 system call: flush every line in [start, end).
+
+        ``dccmvac`` needs privileged register access on ARM, so each call
+        crosses the kernel boundary once, no matter how many lines it
+        covers — which is why lazy synchronization, batching many lines per
+        call, also saves mode switches.
+        """
+        self._tick("cache_line_flush")
+        self.clock.advance(self.config.cache.syscall_ns)
+        self.stats.add_time(TimeBucket.SYSCALL, self.config.cache.syscall_ns)
+        self.stats.count(statnames.FLUSH_CALLS)
+        for base in self.cache.lines_covering(start, max(0, end - start)):
+            self.dccmvac(base)
+
+    # ------------------------------------------------------------------
+    # barriers
+    # ------------------------------------------------------------------
+
+    def dmb(self) -> None:
+        """Data memory barrier: wait for issued flushes to complete.
+
+        After ``dmb`` returns, previously flushed lines have reached the
+        memory subsystem (tier 2) — they are still *not* durable until a
+        persist barrier drains them.
+        """
+        self._tick("dmb")
+        start = self.clock.now_ns
+        self.clock.advance(self.config.cache.dmb_ns)
+        if self.pending:
+            deadline = max(p.completion_ns for p in self.pending)
+            self.clock.advance_to(deadline)
+        self.stats.add_time(TimeBucket.DMB, self.clock.now_ns - start)
+        self.stats.count(statnames.DMBS)
+
+    def persist_barrier(self) -> None:
+        """Drain the memory-subsystem queue into durable NVRAM.
+
+        The paper emulates this instruction as a 1 usec delay (Section 5.3);
+        we additionally wait for any flush still in flight, then commit the
+        queued lines to the device.
+        """
+        self._tick("persist_barrier")
+        start = self.clock.now_ns
+        if self.pending:
+            deadline = max(p.completion_ns for p in self.pending)
+            self.clock.advance_to(deadline)
+        self.clock.advance(self.config.cache.persist_barrier_ns)
+        self.stats.add_time(TimeBucket.PERSIST_BARRIER, self.clock.now_ns - start)
+        self.stats.count(statnames.PERSIST_BARRIERS)
+        for entry in self.pending:
+            self.nvram.persist(entry.addr, entry.data)
+            self.stats.count(statnames.NVRAM_LINES_PERSISTED)
+            self.stats.count(statnames.NVRAM_BYTES_WRITTEN, len(entry.data))
+        self.pending.clear()
+
+    # ------------------------------------------------------------------
+    # CPU work
+    # ------------------------------------------------------------------
+
+    def compute(self, ns: float, bucket: TimeBucket = TimeBucket.CPU) -> None:
+        """Charge ``ns`` nanoseconds of computation to the clock."""
+        if ns <= 0:
+            return
+        self.clock.advance(ns)
+        self.stats.add_time(bucket, ns)
+
+    def syscall_overhead(self) -> None:
+        """Charge one kernel-mode switch (for non-flush syscalls)."""
+        self.clock.advance(self.config.cache.syscall_ns)
+        self.stats.add_time(TimeBucket.SYSCALL, self.config.cache.syscall_ns)
+
+    # ------------------------------------------------------------------
+    # crash support
+    # ------------------------------------------------------------------
+
+    def volatile_state(self) -> tuple[dict[int, bytes], list[PendingPersist]]:
+        """Expose tiers 1 and 2 to the crash controller."""
+        return self.cache.dirty_lines(), list(self.pending)
+
+    def drop_volatile(self) -> None:
+        """Discard tiers 1 and 2 — the power has gone out."""
+        self.cache.drop_all()
+        self.pending.clear()
+        self._pipeline_last_completion = 0.0
+
+
+def make_rng(seed: int | None) -> random.Random:
+    """Seeded RNG factory shared by crash machinery and workloads."""
+    return random.Random(seed)

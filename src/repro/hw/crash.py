@@ -1,0 +1,138 @@
+"""Power-failure semantics and crash injection.
+
+The paper could not run physical power-off tests (Section 4.3: the persist
+barrier hardware does not exist yet), so it argues recovery correctness case
+by case.  We can do better in simulation: a crash keeps the durable NVRAM
+bytes exactly, and every *volatile* dirty 8-byte unit — whether still in the
+CPU cache or queued in the memory subsystem — independently lands on the
+device with a seeded-random probability.  That models cache evictions,
+memory-controller drains, and torn cache lines, and it is adversarial enough
+to break any implementation that omits a required flush or barrier while
+remaining deterministic per seed.
+
+Crash *injection* works through a hook on the CPU: every primitive operation
+(store, memcpy, dccmvac, dmb, persist_barrier) counts as one step, and the
+controller can be armed to cut power at step N.  Sweeping N over a whole
+transaction exercises every intermediate state of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.config import ATOMIC_UNIT
+from repro.errors import PowerFailure
+from repro.hw.cpu import Cpu
+from repro.hw.memory import NvramDevice
+
+
+class CrashController:
+    """Arms, fires, and applies power failures on a simulated system."""
+
+    def __init__(
+        self,
+        cpu: Cpu,
+        nvram: NvramDevice,
+        land_probability: float = 0.5,
+        seed: int | None = None,
+    ) -> None:
+        self.cpu = cpu
+        self.nvram = nvram
+        self.land_probability = land_probability
+        self.rng = random.Random(seed)
+        self._armed_at: int | None = None
+        self._op_count = 0
+        self._op_filter: Callable[[str], bool] | None = None
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+
+    def arm(
+        self,
+        after_ops: int,
+        op_filter: Callable[[str], bool] | None = None,
+    ) -> None:
+        """Cut power after ``after_ops`` further matching CPU operations.
+
+        ``op_filter`` restricts which primitive ops count (e.g. only
+        ``dccmvac``); by default every op counts.
+        """
+        self._armed_at = after_ops
+        self._op_count = 0
+        self._op_filter = op_filter
+        self.cpu.crash_hook = self._on_op
+
+    def disarm(self) -> None:
+        """Cancel a pending injection."""
+        self._armed_at = None
+        self.cpu.crash_hook = None
+
+    def _on_op(self, op: str) -> None:
+        if self._armed_at is None:
+            return
+        if self._op_filter is not None and not self._op_filter(op):
+            return
+        self._op_count += 1
+        if self._op_count >= self._armed_at:
+            self.disarm()
+            self.power_fail()
+
+    # ------------------------------------------------------------------
+    # the failure itself
+    # ------------------------------------------------------------------
+
+    def power_fail(self) -> None:
+        """Cut power *now*: land a random subset of volatile units, discard
+        the rest, and raise :class:`PowerFailure`."""
+        self.apply_power_loss()
+        raise PowerFailure("simulated power failure")
+
+    def apply_power_loss(self) -> None:
+        """The physics of the failure, without the control-flow unwind.
+
+        Each volatile 8-byte unit lands independently with
+        ``land_probability``; durable bytes are untouched.  Afterwards all
+        volatile tiers are empty, as they would be after a reboot.
+        """
+        dirty_lines, pending = self.cpu.volatile_state()
+        # Memory-subsystem entries are "closer" to the device, but without a
+        # persist barrier nothing guarantees they landed: same coin flip.
+        for entry in pending:
+            self._land_partially(entry.addr, entry.data)
+        for base, data in dirty_lines.items():
+            self._land_partially(base, data)
+        self.cpu.drop_volatile()
+
+    def _land_partially(self, addr: int, data: bytes) -> None:
+        """Persist a random subset of ``data`` in 8-byte atomic units."""
+        for offset in range(0, len(data), ATOMIC_UNIT):
+            if self.rng.random() < self.land_probability:
+                chunk = data[offset : offset + ATOMIC_UNIT]
+                self.nvram.persist(addr + offset, chunk)
+
+    # ------------------------------------------------------------------
+    # convenience for tests
+    # ------------------------------------------------------------------
+
+    def count_ops(self, fn: Callable[[], None], op_filter=None) -> int:
+        """Run ``fn`` while counting matching CPU ops (without crashing).
+
+        Tests use this to learn how many injection points a code path has,
+        then sweep ``arm(k)`` for k in 1..N.
+        """
+        count = 0
+
+        def hook(op: str) -> None:
+            nonlocal count
+            if op_filter is None or op_filter(op):
+                count += 1
+
+        previous = self.cpu.crash_hook
+        self.cpu.crash_hook = hook
+        try:
+            fn()
+        finally:
+            self.cpu.crash_hook = previous
+        return count

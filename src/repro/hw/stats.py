@@ -1,0 +1,111 @@
+"""Counters and time-breakdown accounting.
+
+Figure 5 of the paper breaks transaction time into ``memcpy``, ``dccmvac``,
+and ``dmb`` buckets; Table 1 counts dccmvac instructions per transaction;
+Table 2 counts bytes written to NVRAM.  :class:`Stats` collects all of those
+so the experiments can read them back without instrumenting call sites twice.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+
+
+class TimeBucket(str, enum.Enum):
+    """Where simulated time was spent."""
+
+    MEMCPY = "memcpy"
+    DCCMVAC = "dccmvac"
+    DMB = "dmb"
+    PERSIST_BARRIER = "persist_barrier"
+    SYSCALL = "syscall"
+    HEAP = "heap"
+    CPU = "cpu"
+    BLOCK_IO = "block_io"
+    OTHER = "other"
+
+
+class Stats:
+    """Accumulates event counts and per-bucket simulated time.
+
+    A :class:`Stats` object supports snapshot/delta arithmetic so a harness
+    can measure exactly one transaction::
+
+        before = stats.snapshot()
+        ...run transaction...
+        delta = stats.delta_since(before)
+    """
+
+    def __init__(self) -> None:
+        self.counters: Counter[str] = Counter()
+        self.time_ns: Counter[str] = Counter()
+
+    # -- recording ---------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment the event counter ``name`` by ``n``."""
+        self.counters[name] += n
+
+    def add_time(self, bucket: TimeBucket, ns: float) -> None:
+        """Charge ``ns`` nanoseconds of simulated time to ``bucket``."""
+        self.time_ns[bucket.value] += ns
+
+    # -- reading -----------------------------------------------------------
+
+    def get_count(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self.counters[name]
+
+    def get_time(self, bucket: TimeBucket) -> float:
+        """Total nanoseconds charged to ``bucket``."""
+        return self.time_ns[bucket.value]
+
+    def total_time(self) -> float:
+        """Total nanoseconds charged across all buckets."""
+        return sum(self.time_ns.values())
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> "Stats":
+        """Return an independent copy of the current state."""
+        snap = Stats()
+        snap.counters = Counter(self.counters)
+        snap.time_ns = Counter(self.time_ns)
+        return snap
+
+    def delta_since(self, earlier: "Stats") -> "Stats":
+        """Return a new Stats holding ``self - earlier``."""
+        delta = Stats()
+        delta.counters = Counter(self.counters)
+        delta.counters.subtract(earlier.counters)
+        delta.time_ns = Counter(self.time_ns)
+        delta.time_ns.subtract(earlier.time_ns)
+        return delta
+
+    def reset(self) -> None:
+        """Zero all counters and time buckets."""
+        self.counters.clear()
+        self.time_ns.clear()
+
+    def __repr__(self) -> str:
+        times = {k: round(v, 1) for k, v in self.time_ns.items() if v}
+        counts = {k: v for k, v in self.counters.items() if v}
+        return f"Stats(time_ns={times}, counters={counts})"
+
+
+# Well-known counter names, kept in one place so experiments and call sites
+# cannot drift apart.
+FLUSHES = "dccmvac_instructions"
+FLUSH_CALLS = "cache_line_flush_syscalls"
+DMBS = "dmb_instructions"
+PERSIST_BARRIERS = "persist_barriers"
+NVRAM_BYTES_WRITTEN = "nvram_bytes_written"
+NVRAM_LINES_PERSISTED = "nvram_lines_persisted"
+BLOCK_READS = "block_reads"
+BLOCK_WRITES = "block_writes"
+BLOCK_FLUSHES = "block_flushes"
+NVMALLOC_CALLS = "nvmalloc_calls"
+NVFREE_CALLS = "nvfree_calls"
+PRE_MALLOC_CALLS = "nv_pre_malloc_calls"
+SET_USED_CALLS = "nv_malloc_set_used_flag_calls"

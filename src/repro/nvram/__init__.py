@@ -1,0 +1,27 @@
+"""Persistent-heap management for NVRAM.
+
+Two layers, mirroring the paper's Section 3.3:
+
+* :mod:`repro.nvram.heapo` — the kernel-level heap manager (Heapo).  Every
+  allocation crosses the kernel boundary and persists its own metadata
+  failure-atomically, which is exactly why it is expensive.
+* :mod:`repro.nvram.userheap` — NVWAL's user-level heap: pre-allocate large
+  NVRAM blocks with ``nv_pre_malloc`` and bump-allocate WAL frames inside
+  them, using the tri-state (free / pending / in-use) flag protocol.
+
+:mod:`repro.nvram.persistency` models the strict and epoch (relaxed)
+persistency hardware of Section 4.4 for the ablation study the paper leaves
+to future work.
+"""
+
+from repro.nvram.heapo import BlockState, Heapo, NvAllocation
+from repro.nvram.persistency import PersistencyModel
+from repro.nvram.userheap import UserHeap
+
+__all__ = [
+    "BlockState",
+    "Heapo",
+    "NvAllocation",
+    "PersistencyModel",
+    "UserHeap",
+]

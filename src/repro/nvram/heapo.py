@@ -1,0 +1,260 @@
+"""Heapo: the kernel-level NVRAM heap manager.
+
+The paper layers NVWAL on Heapo [16], a heap-based persistent object store,
+and extends it with two system calls (Section 3.3):
+
+* ``nv_pre_malloc(size)`` — allocate a block and leave it in **pending**
+  state: if the system crashes before the caller links the block into its
+  own persistent structure, heap recovery reclaims it, preventing a leak;
+* ``nv_malloc_set_used_flag(block)`` — flip pending → **in-use** once the
+  caller has durably stored a reference to the block.
+
+Heapo keeps its allocation metadata in a reserved region at the bottom of
+the NVRAM device as fixed-size descriptor slots.  Being a kernel service, it
+performs its own internal flushes and barriers to keep that metadata
+failure-atomic; we model that by writing metadata *directly* to the durable
+device and charging the (large) syscall costs from
+:class:`repro.config.HeapoCosts` — the very overhead NVWAL's user-level heap
+exists to avoid.
+
+Named allocations act as the persistent namespace: after a reboot,
+``lookup(name)`` finds the block again (requirement (ii) of Section 3.3).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.errors import BadHandle, HeapStateError, OutOfNvram
+from repro.hw import stats as statnames
+from repro.hw.cpu import Cpu
+from repro.hw.memory import NvramDevice
+from repro.hw.stats import TimeBucket
+
+_MAGIC = 0x4845_4150_4F31_0001  # "HEAPO1"
+_SUPERBLOCK_FMT = "<QII"  # magic, num_slots, heap_start
+_SUPERBLOCK_SIZE = struct.calcsize(_SUPERBLOCK_FMT)
+
+# state u8, pad 3, size u32, addr u64, name 16s  -> 32 bytes
+_DESC_FMT = "<B3xIQ16s"
+_DESC_SIZE = struct.calcsize(_DESC_FMT)
+
+_DEFAULT_SLOTS = 4096
+
+
+class BlockState(enum.IntEnum):
+    """Tri-state flag of an NVRAM allocation (Section 3.3)."""
+
+    FREE = 0
+    PENDING = 1
+    IN_USE = 2
+
+
+@dataclass(frozen=True)
+class NvAllocation:
+    """A live NVRAM allocation: its address range and descriptor slot."""
+
+    slot: int
+    addr: int
+    size: int
+    name: str = ""
+
+
+class Heapo:
+    """Kernel-level persistent heap over one :class:`NvramDevice`."""
+
+    def __init__(self, cpu: Cpu, nvram: NvramDevice, num_slots: int = _DEFAULT_SLOTS):
+        self.cpu = cpu
+        self.nvram = nvram
+        self.num_slots = num_slots
+        self.metadata_size = _SUPERBLOCK_SIZE + num_slots * _DESC_SIZE
+        self.heap_start = _align_up(self.metadata_size, 64)
+        # Volatile mirror of the descriptor table, rebuilt by attach().
+        self._slots: list[tuple[BlockState, int, int, str]] = []
+        self._attach_or_format()
+
+    # ------------------------------------------------------------------
+    # formatting / attach / recovery
+    # ------------------------------------------------------------------
+
+    def _attach_or_format(self) -> None:
+        raw = self.nvram.read(0, _SUPERBLOCK_SIZE)
+        magic, num_slots, heap_start = struct.unpack(_SUPERBLOCK_FMT, raw)
+        if magic == _MAGIC and num_slots == self.num_slots:
+            self.heap_start = heap_start
+            self.attach()
+        else:
+            self.format()
+
+    def format(self) -> None:
+        """Initialize an empty heap (destroys all allocations)."""
+        self.nvram.persist(
+            0, struct.pack(_SUPERBLOCK_FMT, _MAGIC, self.num_slots, self.heap_start)
+        )
+        empty = struct.pack(_DESC_FMT, BlockState.FREE, 0, 0, b"")
+        self.nvram.persist(_SUPERBLOCK_SIZE, empty * self.num_slots)
+        self._slots = [(BlockState.FREE, 0, 0, "")] * self.num_slots
+
+    def attach(self) -> None:
+        """Rebuild the volatile allocator state from durable descriptors.
+
+        Called at boot; corresponds to re-mapping the persistent namespace
+        into the process address space.
+        """
+        self._slots = []
+        base = _SUPERBLOCK_SIZE
+        raw = self.nvram.read(base, self.num_slots * _DESC_SIZE)
+        for i in range(self.num_slots):
+            state_b, size, addr, name_b = struct.unpack_from(
+                _DESC_FMT, raw, i * _DESC_SIZE
+            )
+            name = name_b.rstrip(b"\x00").decode("utf-8", "replace")
+            self._slots.append((BlockState(state_b), size, addr, name))
+
+    def recover(self) -> list[int]:
+        """Reclaim every **pending** block; return their addresses.
+
+        This is the heap half of crash recovery (Section 4.3): a block left
+        pending was allocated but never linked by its owner, so it is
+        garbage.
+        """
+        reclaimed = []
+        for slot, (state, size, addr, _name) in enumerate(self._slots):
+            if state is BlockState.PENDING:
+                reclaimed.append(addr)
+                self._write_slot(slot, BlockState.FREE, 0, 0, "")
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # allocation API (the system calls)
+    # ------------------------------------------------------------------
+
+    def nvmalloc(self, size: int, name: str = "") -> NvAllocation:
+        """Allocate an in-use block (the expensive stock path)."""
+        self.cpu.compute(self.cpu.config.heapo.nvmalloc_ns, TimeBucket.HEAP)
+        self.cpu.stats.count(statnames.NVMALLOC_CALLS)
+        return self._allocate(size, BlockState.IN_USE, name)
+
+    def nv_pre_malloc(self, size: int, name: str = "") -> NvAllocation:
+        """Allocate a block in **pending** state (Section 3.3)."""
+        self.cpu.compute(self.cpu.config.heapo.nv_pre_malloc_ns, TimeBucket.HEAP)
+        self.cpu.stats.count(statnames.PRE_MALLOC_CALLS)
+        return self._allocate(size, BlockState.PENDING, name)
+
+    def nv_malloc_set_used_flag(self, alloc: NvAllocation) -> None:
+        """Flip a pending block to **in-use** once its reference is durable."""
+        self.cpu.compute(self.cpu.config.heapo.set_used_flag_ns, TimeBucket.HEAP)
+        self.cpu.stats.count(statnames.SET_USED_CALLS)
+        state, size, addr, name = self._slots[alloc.slot]
+        if state is not BlockState.PENDING or addr != alloc.addr:
+            raise HeapStateError(
+                f"slot {alloc.slot} is {state.name}, cannot mark in-use"
+            )
+        self._write_slot(alloc.slot, BlockState.IN_USE, size, addr, name)
+
+    def nvfree(self, alloc: NvAllocation) -> None:
+        """Free a block (any non-free state)."""
+        self.cpu.compute(self.cpu.config.heapo.nvfree_ns, TimeBucket.HEAP)
+        self.cpu.stats.count(statnames.NVFREE_CALLS)
+        state, _size, addr, _name = self._slots[alloc.slot]
+        if state is BlockState.FREE or addr != alloc.addr:
+            raise BadHandle(f"slot {alloc.slot} does not hold addr {alloc.addr}")
+        self._write_slot(alloc.slot, BlockState.FREE, 0, 0, "")
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def lookup(self, name: str) -> NvAllocation | None:
+        """Find a named allocation in the persistent namespace."""
+        for slot, (state, size, addr, slot_name) in enumerate(self._slots):
+            if state is not BlockState.FREE and slot_name == name:
+                return NvAllocation(slot, addr, size, name)
+        return None
+
+    def state_of(self, addr: int) -> BlockState:
+        """State of the allocation starting at ``addr`` (FREE if none)."""
+        for state, _size, slot_addr, _name in self._slots:
+            if state is not BlockState.FREE and slot_addr == addr:
+                return state
+        return BlockState.FREE
+
+    def is_live(self, addr: int) -> bool:
+        """Whether ``addr`` starts an **in-use** allocation.
+
+        NVWAL recovery uses this to drop references to blocks the heap
+        recovery reclaimed while they were still pending (Section 4.3).
+        """
+        return self.state_of(addr) is BlockState.IN_USE
+
+    def live_allocations(self) -> list[NvAllocation]:
+        """All pending or in-use allocations."""
+        return [
+            NvAllocation(slot, addr, size, name)
+            for slot, (state, size, addr, name) in enumerate(self._slots)
+            if state is not BlockState.FREE
+        ]
+
+    def bytes_in_use(self) -> int:
+        """Total bytes held by pending or in-use allocations."""
+        return sum(
+            size
+            for state, size, _addr, _name in self._slots
+            if state is not BlockState.FREE
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _allocate(self, size: int, state: BlockState, name: str) -> NvAllocation:
+        if size <= 0:
+            raise HeapStateError(f"allocation size must be positive, got {size}")
+        size = _align_up(size, 64)
+        addr = self._find_gap(size)
+        slot = self._find_free_slot()
+        self._write_slot(slot, state, size, addr, name)
+        return NvAllocation(slot, addr, size, name)
+
+    def _find_free_slot(self) -> int:
+        for slot, (state, _s, _a, _n) in enumerate(self._slots):
+            if state is BlockState.FREE:
+                return slot
+        raise OutOfNvram("heap descriptor table is full")
+
+    def _find_gap(self, size: int) -> int:
+        """First-fit search of the heap area for a free extent."""
+        used = sorted(
+            (addr, addr + alloc_size)
+            for state, alloc_size, addr, _name in self._slots
+            if state is not BlockState.FREE
+        )
+        cursor = self.heap_start
+        for start, end in used:
+            if start - cursor >= size:
+                return cursor
+            cursor = max(cursor, end)
+        if self.nvram.size - cursor >= size:
+            return cursor
+        raise OutOfNvram(f"no free extent of {size} bytes")
+
+    def _write_slot(
+        self, slot: int, state: BlockState, size: int, addr: int, name: str
+    ) -> None:
+        """Durably update one descriptor.
+
+        Kernel metadata updates are failure-atomic by construction (the
+        kernel runs its own flush/barrier sequence, whose cost is folded
+        into the syscall costs), so this writes straight to the device.
+        """
+        record = struct.pack(
+            _DESC_FMT, int(state), size, addr, name.encode("utf-8")[:16]
+        )
+        self.nvram.persist(_SUPERBLOCK_SIZE + slot * _DESC_SIZE, record)
+        self._slots[slot] = (state, size, addr, name)
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment

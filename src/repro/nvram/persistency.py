@@ -1,0 +1,120 @@
+"""Memory-persistency models (Section 4.4).
+
+Pelley et al. frame NVRAM write ordering as *memory persistency*.  The paper
+discusses how NVWAL would look under hardware that implements:
+
+* **strict persistency** — persist order equals volatile memory order.  No
+  flush instructions are needed, but every NVRAM store persists in program
+  order, serializing on the NVRAM write latency;
+* **epoch (relaxed) persistency** — persist barriers divide persists into
+  epochs; persists within an epoch proceed concurrently, and no per-line
+  flush instructions are needed.
+
+The authors conjecture (but cannot measure, lacking hardware) that epoch
+persistency would beat strict persistency for NVWAL.  Our simulator *can*
+measure it: these models replace NVWAL's explicit flush/dmb/persist-barrier
+sequences with hardware-enforced equivalents, exercised by the
+``ablation_persistency`` benchmark.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.hw.cpu import Cpu
+from repro.hw.stats import TimeBucket
+
+
+class PersistencyModel(str, enum.Enum):
+    """Which ordering hardware the platform provides."""
+
+    #: Software flushes (dccmvac) + dmb + persist barrier: today's ARM, and
+    #: what Algorithm 1 is written for.
+    EXPLICIT = "explicit"
+    #: Persist order == volatile order; persists serialize.
+    STRICT = "strict"
+    #: Persist barriers delimit epochs; persists within an epoch overlap.
+    EPOCH = "epoch"
+
+
+class PersistDomain:
+    """Applies one persistency model's cost and durability semantics.
+
+    NVWAL calls :meth:`persist_range` for the log-write phase and
+    :meth:`commit_barrier` before/after writing the commit mark; how much
+    that costs — and whether explicit instructions are simulated — depends
+    on the model.
+    """
+
+    def __init__(self, cpu: Cpu, model: PersistencyModel) -> None:
+        self.cpu = cpu
+        self.model = model
+
+    # ------------------------------------------------------------------
+    # hooks used by NVWAL
+    # ------------------------------------------------------------------
+
+    def after_store(self, addr: int, length: int) -> None:
+        """Called after every NVRAM store NVWAL performs."""
+        if self.model is PersistencyModel.STRICT:
+            self._persist_now_serialized(addr, length)
+
+    def persist_range(self, addr: int, length: int) -> None:
+        """Make [addr, addr+length) durable, model-appropriately.
+
+        Under the explicit model this is the lazy-synchronization sequence
+        (cache_line_flush syscall; the caller adds dmb/persist_barrier).
+        Under strict persistency the data is already durable.  Under epoch
+        persistency durability arrives at the next epoch barrier, so this is
+        free.
+        """
+        if self.model is PersistencyModel.EXPLICIT:
+            self.cpu.cache_line_flush(addr, addr + length)
+
+    def commit_barrier(self) -> None:
+        """Order the log-write phase before the commit phase."""
+        if self.model is PersistencyModel.EXPLICIT:
+            self.cpu.dmb()
+            self.cpu.persist_barrier()
+        elif self.model is PersistencyModel.EPOCH:
+            self._epoch_barrier()
+        # strict: ordering already guaranteed, nothing to do
+
+    # ------------------------------------------------------------------
+    # model internals
+    # ------------------------------------------------------------------
+
+    def _persist_now_serialized(self, addr: int, length: int) -> None:
+        """Strict persistency: each line persists in order, full latency."""
+        cache = self.cpu.cache
+        latency = self.cpu.config.nvram.write_latency_ns
+        for base in cache.lines_covering(addr, length):
+            data = cache.clean_line(base)
+            if data is None:
+                continue
+            self.cpu.clock.advance(latency)
+            self.cpu.stats.add_time(TimeBucket.PERSIST_BARRIER, latency)
+            self.cpu.nvram.persist(base, data)
+            self.cpu.stats.count("strict_persists")
+
+    def _epoch_barrier(self) -> None:
+        """Epoch persistency: drain all dirty lines, pipelined, no
+        per-line instruction cost (the hardware tracks the epoch)."""
+        cache = self.cpu.cache
+        dirty = sorted(cache.dirty_lines())
+        latency = self.cpu.config.nvram.write_latency_ns
+        interval = latency / self.cpu.config.cache.pipeline_depth
+        if dirty:
+            cost = latency + interval * (len(dirty) - 1)
+            self.cpu.clock.advance(cost)
+            self.cpu.stats.add_time(TimeBucket.PERSIST_BARRIER, cost)
+        for base in dirty:
+            data = cache.clean_line(base)
+            if data is not None:
+                self.cpu.nvram.persist(base, data)
+        # The barrier itself still costs the persist-barrier latency.
+        self.cpu.clock.advance(self.cpu.config.cache.persist_barrier_ns)
+        self.cpu.stats.add_time(
+            TimeBucket.PERSIST_BARRIER, self.cpu.config.cache.persist_barrier_ns
+        )
+        self.cpu.stats.count("epoch_barriers")

@@ -1,0 +1,110 @@
+"""eMMC flash block device model.
+
+Models the SanDisk iNAND eMMC of the Nexus 5 at the level the WAL baseline
+cares about: page-granularity programs with a volatile on-device write cache
+that only a cache-flush command (what ``fsync`` ultimately issues through
+the block layer) makes durable.
+
+A power failure keeps durable pages and lands each cached page with a
+seeded-random probability — enough to force the filesystem journal to do
+its job in crash tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import BlockDevConfig
+from repro.errors import AddressError
+from repro.hw import stats as statnames
+from repro.hw.clock import SimClock
+from repro.hw.stats import Stats, TimeBucket
+from repro.storage.trace import BlockTrace
+
+
+class BlockDevice:
+    """Page-addressable flash device with a volatile write cache."""
+
+    def __init__(
+        self,
+        config: BlockDevConfig,
+        clock: SimClock,
+        stats: Stats,
+        trace: BlockTrace | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.stats = stats
+        self.trace = trace or BlockTrace()
+        self.page_size = config.page_size
+        self.num_pages = config.num_pages
+        self._durable: dict[int, bytes] = {}
+        self._cache: dict[int, bytes] = {}
+        self._rng = random.Random(seed)
+        self._zero_page = bytes(self.page_size)
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+
+    def _check(self, pno: int) -> None:
+        if not 0 <= pno < self.num_pages:
+            raise AddressError(f"page {pno} out of range (device has {self.num_pages})")
+
+    def write_page(self, pno: int, data: bytes, tag: str = "unknown") -> None:
+        """Program one page (lands in the device write cache)."""
+        self._check(pno)
+        if len(data) != self.page_size:
+            raise AddressError(
+                f"page write must be exactly {self.page_size} bytes, got {len(data)}"
+            )
+        self._cache[pno] = bytes(data)
+        self.clock.advance(self.config.write_latency_ns)
+        self.stats.add_time(TimeBucket.BLOCK_IO, self.config.write_latency_ns)
+        self.stats.count(statnames.BLOCK_WRITES)
+        self.trace.record(self.clock.now_ns, "write", pno, self.page_size, tag)
+
+    def read_page(self, pno: int, tag: str = "unknown") -> bytes:
+        """Read one page (write cache wins over durable media)."""
+        self._check(pno)
+        self.clock.advance(self.config.read_latency_ns)
+        self.stats.add_time(TimeBucket.BLOCK_IO, self.config.read_latency_ns)
+        self.stats.count(statnames.BLOCK_READS)
+        self.trace.record(self.clock.now_ns, "read", pno, self.page_size, tag)
+        page = self._cache.get(pno)
+        if page is None:
+            page = self._durable.get(pno, self._zero_page)
+        return page
+
+    def read_page_silent(self, pno: int) -> bytes:
+        """Read without time charge or trace (mount-time bulk scans)."""
+        self._check(pno)
+        page = self._cache.get(pno)
+        if page is None:
+            page = self._durable.get(pno, self._zero_page)
+        return page
+
+    def flush(self) -> None:
+        """Cache-flush command: make every cached page durable."""
+        self.clock.advance(self.config.flush_cmd_ns)
+        self.stats.add_time(TimeBucket.BLOCK_IO, self.config.flush_cmd_ns)
+        self.stats.count(statnames.BLOCK_FLUSHES)
+        self.trace.record(self.clock.now_ns, "flush", 0, 0, "barrier")
+        self._durable.update(self._cache)
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # crash semantics
+    # ------------------------------------------------------------------
+
+    def power_fail(self, land_probability: float = 0.5) -> None:
+        """Cut power: each cached page independently lands or is lost."""
+        for pno, data in self._cache.items():
+            if self._rng.random() < land_probability:
+                self._durable[pno] = data
+        self._cache.clear()
+
+    def cached_page_count(self) -> int:
+        """Pages currently in the volatile write cache."""
+        return len(self._cache)

@@ -1,0 +1,98 @@
+"""System facade: one simulated machine.
+
+A :class:`System` wires together the clock, stats, NVRAM device, CPU cache,
+CPU, crash controller, Heapo heap manager, eMMC block device, and EXT4
+filesystem — everything the database stack needs from "hardware".
+
+Reboot semantics: :meth:`power_fail` drops all volatile state (landing a
+random subset of in-flight bytes, per the crash model) and raises nothing;
+:meth:`reboot` then re-attaches the persistent services (heap namespace,
+filesystem journal replay).  Durable NVRAM and flash contents survive, so
+database recovery code can be tested end to end.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig, tuna
+from repro.hw.cache import CacheHierarchy
+from repro.hw.clock import SimClock
+from repro.hw.cpu import Cpu
+from repro.hw.crash import CrashController
+from repro.hw.memory import NvramDevice
+from repro.hw.stats import Stats
+from repro.nvram.heapo import Heapo
+from repro.storage.blockdev import BlockDevice
+from repro.storage.ext4 import Ext4FileSystem
+from repro.storage.trace import BlockTrace
+
+
+class System:
+    """One simulated machine: CPU + NVRAM + flash + filesystem."""
+
+    def __init__(self, config: SystemConfig | None = None, seed: int | None = 0):
+        self.config = config or tuna()
+        self.seed = seed
+        self.clock = SimClock()
+        self.stats = Stats()
+        self.nvram = NvramDevice(self.config.nvram)
+        self.cache = CacheHierarchy(self.config.cache, self.nvram)
+        self.cpu = Cpu(self.config, self.clock, self.cache, self.nvram, self.stats)
+        self.crash = CrashController(
+            self.cpu,
+            self.nvram,
+            land_probability=self.config.crash_land_probability,
+            seed=seed,
+        )
+        self.heapo = Heapo(self.cpu, self.nvram)
+        self.trace = BlockTrace()
+        self.blockdev = BlockDevice(
+            self.config.blockdev, self.clock, self.stats, self.trace, seed=seed
+        )
+        self.fs = Ext4FileSystem(self.blockdev)
+        self.fs.format()
+
+    # ------------------------------------------------------------------
+    # power-cycle choreography
+    # ------------------------------------------------------------------
+
+    def power_fail(self) -> None:
+        """Cut power without unwinding the Python stack.
+
+        Volatile CPU-side and device-cache state is probabilistically
+        landed and then discarded; durable state is untouched.  Call
+        :meth:`reboot` afterwards to bring services back.
+        """
+        self.crash.apply_power_loss()
+        self.blockdev.power_fail(self.config.crash_land_probability)
+        self.fs._mounted = False
+
+    def reboot(self) -> list[int]:
+        """Boot the machine after a power failure.
+
+        Replays the filesystem journal, re-attaches the NVRAM heap
+        namespace, and runs heap recovery (reclaiming pending blocks).
+        Returns the addresses of the reclaimed blocks — the database layer
+        uses this during its own recovery.
+        """
+        self.fs.mount()
+        self.heapo.attach()
+        return self.heapo.recover()
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        """Database/filesystem page size."""
+        return self.config.page_size
+
+    def elapsed_seconds(self) -> float:
+        """Simulated seconds since boot."""
+        return self.clock.now_ns / 1e9
+
+    def __repr__(self) -> str:
+        return (
+            f"System(profile={self.config.name!r}, "
+            f"nvram_write_latency_ns={self.config.nvram.write_latency_ns})"
+        )

@@ -1,0 +1,32 @@
+"""Write-ahead-log backends.
+
+* :class:`NvwalBackend` — the paper's contribution: the log lives in
+  byte-addressable NVRAM (Algorithm 1), with scheme knobs for eager/lazy/
+  checksum synchronization, byte-granularity differential logging, and
+  user-level heap management (:class:`NvwalScheme`).
+* :class:`FileWalBackend` — the baselines: stock SQLite WAL on EXT4/eMMC
+  and the paper's optimized WAL (aligned frames + WALDIO-style
+  pre-allocation, Section 5.4).
+
+Both expose the same :class:`WalBackend` interface to the database engine:
+receive a transaction's dirty pages at commit, recover committed state
+after a crash, and checkpoint into the database file.
+"""
+
+from repro.wal.base import SyncMode, WalBackend
+from repro.wal.diff import DiffMode, apply_extents, compute_extents
+from repro.wal.filewal import FileWalBackend
+from repro.wal.journal import RollbackJournalBackend
+from repro.wal.nvwal import NvwalBackend, NvwalScheme
+
+__all__ = [
+    "DiffMode",
+    "FileWalBackend",
+    "NvwalBackend",
+    "NvwalScheme",
+    "RollbackJournalBackend",
+    "SyncMode",
+    "WalBackend",
+    "apply_extents",
+    "compute_extents",
+]

@@ -1,0 +1,88 @@
+"""WAL backend interface shared by NVWAL and the file baselines."""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+from repro.storage.ext4 import File
+
+#: SQLite's default checkpoint threshold: 1000 logged frames.
+DEFAULT_CHECKPOINT_THRESHOLD = 1000
+
+
+class SyncMode(str, enum.Enum):
+    """When cache-line flushes and barriers are issued (Figure 4)."""
+
+    #: Flush + barrier after every log entry (Figure 4b) — the strawman.
+    EAGER = "eager"
+    #: Batch flushes, barrier once before the commit mark (Figure 4c) —
+    #: transaction-aware lazy synchronization, the paper's proposal.
+    LAZY = "lazy"
+    #: No flush of log entries at all; a checksum stored with the commit
+    #: mark detects (probabilistically) unpersisted logs (Figure 4d) —
+    #: asynchronous commit.
+    CHECKSUM = "checksum"
+
+
+class WalBackend(abc.ABC):
+    """What the database engine needs from a write-ahead log."""
+
+    def __init__(self, checkpoint_threshold: int = DEFAULT_CHECKPOINT_THRESHOLD):
+        self.checkpoint_threshold = checkpoint_threshold
+        self.db_file: File | None = None
+
+    def bind(self, db_file: File) -> None:
+        """Attach the database file (needed for checkpoint and recovery)."""
+        self.db_file = db_file
+
+    # ------------------------------------------------------------------
+    # the contract
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def write_transaction(
+        self,
+        dirty_pages: dict[int, bytes],
+        commit: bool = True,
+        pre_images: dict[int, bytes] | None = None,
+    ) -> None:
+        """Log one transaction's dirty page images; if ``commit``, make the
+        transaction durable before returning.
+
+        ``pre_images`` holds the pre-transaction images of the same pages;
+        WAL backends ignore it, the rollback-journal baseline journals it.
+        """
+
+    @abc.abstractmethod
+    def recover(self) -> dict[int, bytes]:
+        """Replay the log after a crash or reopen.
+
+        Returns the reconstructed images of every page with committed log
+        content (to be installed in the page cache); leaves the backend
+        ready to append new transactions.
+        """
+
+    @abc.abstractmethod
+    def checkpoint(self) -> int:
+        """Write committed pages back to the database file and truncate the
+        log.  Returns the number of pages checkpointed."""
+
+    @abc.abstractmethod
+    def frame_count(self) -> int:
+        """Frames currently in the log (drives the checkpoint policy)."""
+
+    # ------------------------------------------------------------------
+    # shared policy
+    # ------------------------------------------------------------------
+
+    def should_checkpoint(self) -> bool:
+        """SQLite's policy: checkpoint when the log reaches the threshold."""
+        return self.frame_count() >= self.checkpoint_threshold
+
+    def maybe_checkpoint(self) -> int:
+        """Checkpoint if the policy says so; returns pages written (0 if
+        no checkpoint ran)."""
+        if self.should_checkpoint():
+            return self.checkpoint()
+        return 0

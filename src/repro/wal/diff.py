@@ -1,0 +1,116 @@
+"""Byte-granularity differential logging (Section 3.2).
+
+Given the previously logged image of a B-tree page and its current image,
+compute the byte extents that changed; only those extents are written to
+NVRAM.  The paper describes truncating the preceding and trailing clean
+regions of the page (one contiguous extent).  We implement that as
+``DiffMode.SINGLE_RANGE`` and additionally a precise multi-extent encoding
+(``MULTI_RANGE``, classic delta encoding) — ablation A3 quantifies the gap
+between them, which is substantial because an insert dirties two distant
+clusters (header + slot array near the top, cell content lower down).
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Extents closer than this are merged, since flushing happens at
+#: cache-line granularity anyway and each extra extent costs a 32-byte
+#: frame header.
+_MERGE_GAP = 64
+
+
+class DiffMode(str, enum.Enum):
+    """How dirty bytes are encoded into WAL frames."""
+
+    #: Whole page, no differential logging (stock SQLite behaviour).
+    FULL_PAGE = "full"
+    #: One extent from the first to the last dirty byte (the truncation
+    #: scheme the paper describes).
+    SINGLE_RANGE = "single"
+    #: Precise dirty extents, merged across small gaps.
+    MULTI_RANGE = "multi"
+
+
+def compute_extents(
+    old: bytes, new: bytes, mode: DiffMode = DiffMode.MULTI_RANGE
+) -> list[tuple[int, bytes]]:
+    """Return [(offset, changed_bytes), ...] turning ``old`` into ``new``.
+
+    Both images must have equal length.  An empty list means no change.
+    """
+    if len(old) != len(new):
+        raise ValueError(
+            f"page images differ in size: {len(old)} vs {len(new)}"
+        )
+    if mode is DiffMode.FULL_PAGE:
+        if old == new:
+            return []
+        return [(0, bytes(new))]
+    if old == new:
+        return []
+    ranges = _changed_ranges(old, new)
+    if mode is DiffMode.SINGLE_RANGE:
+        start = ranges[0][0]
+        end = ranges[-1][1]
+        return [(start, bytes(new[start:end]))]
+    merged = _merge_ranges(ranges, _MERGE_GAP)
+    return [(start, bytes(new[start:end])) for start, end in merged]
+
+
+def apply_extents(base: bytes, extents: list[tuple[int, bytes]]) -> bytes:
+    """Apply extents to ``base``; the recovery-side inverse."""
+    image = bytearray(base)
+    for offset, data in extents:
+        if offset < 0 or offset + len(data) > len(image):
+            raise ValueError(
+                f"extent [{offset}, {offset + len(data)}) outside page of "
+                f"{len(image)} bytes"
+            )
+        image[offset : offset + len(data)] = data
+    return bytes(image)
+
+
+def _changed_ranges(old: bytes, new: bytes) -> list[tuple[int, int]]:
+    """Exact [start, end) ranges where the images differ.
+
+    Compares 64-byte chunks first (cheap in CPython thanks to slice
+    comparison in C), then refines chunk boundaries bytewise.
+    """
+    chunk = 64
+    n = len(old)
+    ranges: list[tuple[int, int]] = []
+    pos = 0
+    while pos < n:
+        end = min(pos + chunk, n)
+        if old[pos:end] != new[pos:end]:
+            # refine start
+            start = pos
+            while old[start] == new[start]:
+                start += 1
+            # extend across consecutive differing chunks
+            stop = end
+            while stop < n and old[stop : stop + chunk] != new[stop : stop + chunk]:
+                stop = min(stop + chunk, n)
+            # refine end
+            while old[stop - 1] == new[stop - 1]:
+                stop -= 1
+            ranges.append((start, stop))
+            pos = stop - (stop % chunk) + chunk
+        else:
+            pos = end
+    return ranges
+
+
+def _merge_ranges(
+    ranges: list[tuple[int, int]], gap: int
+) -> list[tuple[int, int]]:
+    """Merge ranges separated by less than ``gap`` bytes."""
+    merged = [ranges[0]]
+    for start, end in ranges[1:]:
+        last_start, last_end = merged[-1]
+        if start - last_end < gap:
+            merged[-1] = (last_start, end)
+        else:
+            merged.append((start, end))
+    return merged

@@ -1,0 +1,231 @@
+"""File-based write-ahead logging on EXT4/eMMC — the paper's baselines.
+
+Two variants, matching Section 5.4:
+
+* **stock** SQLite WAL: a 32-byte log-file header followed by frames of
+  24-byte header + full 4 KB page.  Frames are misaligned with filesystem
+  blocks, so appending one frame dirties *two* device pages; every append
+  also grows the file, so each fsync journals the inode, block bitmap, and
+  group descriptor — the "at least 16 KBytes of I/O per transaction".
+* **optimized** WAL: the early-split B-tree reserves the last 24 bytes of
+  every page, so header + page content fit exactly one filesystem block
+  (the log-file header gets a block of its own), and log pages are
+  pre-allocated with doubling (WALDIO-style), so most appends are
+  metadata-free overwrites.  This is what reduces EXT4 journal traffic by
+  ~40% in Figure 8.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.db.pager import EARLY_SPLIT_RESERVE
+from repro.hw.stats import TimeBucket
+from repro.storage.ext4 import Ext4FileSystem, File
+from repro.system import System
+from repro.wal.base import DEFAULT_CHECKPOINT_THRESHOLD, WalBackend
+from repro.wal.frames import (
+    FILE_HEADER_SIZE,
+    decode_file_frame,
+    encode_file_frame,
+)
+
+_WAL_MAGIC = 0x57_41_4C_31  # "WAL1"
+_WAL_HEADER_FMT = "<IIII"  # magic, salt, page_size, flags
+_WAL_HEADER_SIZE = 32
+
+#: Initial pre-allocation, in log pages, for the optimized variant; doubled
+#: every time the pre-allocated region fills up (Section 5.4).
+_INITIAL_PREALLOC_PAGES = 8
+
+
+class FileWalBackend(WalBackend):
+    """SQLite-style WAL in a ``.db-wal`` file."""
+
+    def __init__(
+        self,
+        system: System,
+        optimized: bool = False,
+        checkpoint_threshold: int = DEFAULT_CHECKPOINT_THRESHOLD,
+    ) -> None:
+        super().__init__(checkpoint_threshold)
+        self.system = system
+        self.optimized = optimized
+        self.wal_file: File | None = None
+        self._salt = 1
+        self._frame_index = 0
+        self._prealloc_pages = 0
+        self._logged_images: dict[int, bytes] = {}
+
+    @property
+    def name(self) -> str:
+        """Paper-style label."""
+        return "Optimized WAL" if self.optimized else "WAL"
+
+    # -- geometry -----------------------------------------------------------
+
+    def _content_size(self) -> int:
+        """Page bytes stored per frame.
+
+        The optimized variant relies on the early-split B-tree leaving the
+        last 24 bytes of every page unused, so the stored content plus the
+        24-byte frame header is exactly one filesystem block.
+        """
+        if self.optimized:
+            return self.system.page_size - EARLY_SPLIT_RESERVE
+        return self.system.page_size
+
+    def _header_span(self) -> int:
+        """File bytes reserved for the WAL header (a whole block when
+        optimized, to keep frames block-aligned)."""
+        return self.system.page_size if self.optimized else _WAL_HEADER_SIZE
+
+    def _frame_stride(self) -> int:
+        return FILE_HEADER_SIZE + self._content_size()
+
+    def _frame_offset(self, index: int) -> int:
+        return self._header_span() + index * self._frame_stride()
+
+    # -- binding ------------------------------------------------------------
+
+    def bind_files(self, db_file: File, fs: Ext4FileSystem, wal_name: str) -> None:
+        """Attach both the database file and the log file (creating the log
+        file if needed)."""
+        self.bind(db_file)
+        if fs.exists(wal_name):
+            self.wal_file = fs.open(wal_name)
+        else:
+            self.wal_file = fs.create(wal_name)
+            self._write_wal_header()
+
+    def _write_wal_header(self) -> None:
+        header = struct.pack(
+            _WAL_HEADER_FMT, _WAL_MAGIC, self._salt, self.system.page_size, 0
+        ).ljust(_WAL_HEADER_SIZE, b"\x00")
+        self.wal_file.write(0, header)
+
+    # -- logging ------------------------------------------------------------
+
+    def write_transaction(
+        self,
+        dirty_pages: dict[int, bytes],
+        commit: bool = True,
+        pre_images: dict[int, bytes] | None = None,
+    ) -> None:
+        """Append one frame per dirty page; the last carries the commit
+        marker; a single fsync makes the transaction durable."""
+        if self.wal_file is None:
+            raise RuntimeError("file WAL is not bound (call bind_files)")
+        if not dirty_pages:
+            return
+        costs = self.system.config.db_costs
+        items = list(dirty_pages.items())
+        content_size = self._content_size()
+        for i, (pno, image) in enumerate(items):
+            self.system.cpu.compute(costs.frame_assembly_ns, TimeBucket.CPU)
+            self.system.cpu.compute(
+                costs.checksum_ns_per_byte * content_size, TimeBucket.CPU
+            )
+            is_commit = commit and i == len(items) - 1
+            frame = encode_file_frame(
+                pno, image[:content_size], 1 if is_commit else 0, self._salt
+            )
+            offset = self._frame_offset(self._frame_index)
+            if self.optimized:
+                self._ensure_preallocated(offset + len(frame))
+            self.wal_file.write(offset, frame)
+            self._frame_index += 1
+            self._logged_images[pno] = bytes(image)
+        if commit:
+            self.wal_file.fsync()
+
+    def _ensure_preallocated(self, needed_bytes: int) -> None:
+        """WALDIO-style pre-allocation with doubling (Section 5.4)."""
+        page_size = self.system.page_size
+        needed_pages = (needed_bytes + page_size - 1) // page_size
+        if needed_pages <= self._prealloc_pages:
+            return
+        if self._prealloc_pages == 0:
+            target = max(_INITIAL_PREALLOC_PAGES, needed_pages)
+        else:
+            target = self._prealloc_pages
+            while target < needed_pages:
+                target *= 2
+        self.wal_file.preallocate(target)
+        self._prealloc_pages = target
+
+    # -- recovery -----------------------------------------------------------
+
+    def recover(self) -> dict[int, bytes]:
+        """Replay committed frames; position appends after the committed
+        prefix (the stock SQLite WAL recovery algorithm)."""
+        if self.wal_file is None:
+            raise RuntimeError("file WAL is not bound (call bind_files)")
+        self._logged_images.clear()
+        self._frame_index = 0
+        allocated = self.wal_file.allocated_pages()
+        # The header block alone does not count as log pre-allocation.
+        self._prealloc_pages = allocated if self.optimized and allocated > 1 else 0
+        raw_header = self.wal_file.read(0, _WAL_HEADER_SIZE)
+        if len(raw_header) < _WAL_HEADER_SIZE:
+            self._write_wal_header()
+            self.wal_file.fsync()
+            return {}
+        magic, salt, page_size, _flags = struct.unpack_from(
+            _WAL_HEADER_FMT, raw_header, 0
+        )
+        if magic != _WAL_MAGIC or page_size != self.system.page_size:
+            self._salt += 1
+            self._write_wal_header()
+            self.wal_file.fsync()
+            return {}
+        self._salt = salt
+        content_size = self._content_size()
+        stride = self._frame_stride()
+        committed: dict[int, bytes] = {}
+        pending: dict[int, bytes] = {}
+        index = 0
+        committed_index = 0
+        while True:
+            offset = self._frame_offset(index)
+            raw = self.wal_file.read(offset, stride)
+            decoded = decode_file_frame(raw, content_size, self._salt)
+            if decoded is None:
+                break
+            pno, commit_flag, content = decoded
+            image = content.ljust(self.system.page_size, b"\x00")
+            pending[pno] = image
+            index += 1
+            if commit_flag:
+                committed.update(pending)
+                pending.clear()
+                committed_index = index
+        self._frame_index = committed_index
+        self._logged_images = dict(committed)
+        return dict(committed)
+
+    # -- checkpoint ----------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Copy committed pages into the database file, fsync it, then
+        truncate and restamp the log (new salt invalidates old frames)."""
+        if self.db_file is None or self.wal_file is None:
+            raise RuntimeError("file WAL is not bound")
+        page_size = self.system.page_size
+        pages = sorted(self._logged_images)
+        for pno in pages:
+            self.db_file.write((pno - 1) * page_size, self._logged_images[pno])
+        if pages:
+            self.db_file.fsync()
+        self._salt += 1
+        self.wal_file.truncate(0)
+        self._write_wal_header()
+        self.wal_file.fsync()
+        self._frame_index = 0
+        self._prealloc_pages = 0
+        self._logged_images.clear()
+        return len(pages)
+
+    def frame_count(self) -> int:
+        """Frames appended since the last checkpoint."""
+        return self._frame_index

@@ -1,0 +1,230 @@
+"""WAL frame formats and checksums.
+
+Two frame shapes exist in the paper:
+
+* the stock SQLite **file** frame: a 24-byte header (page number, db-size/
+  commit field, salts, checksums) followed by a full 4 KB page image
+  (Section 5.4);
+* the **NVWAL** frame: a 32-byte header (page number, in-page offset, frame
+  size, checkpointing id, commit flag, checksum) followed by an
+  arbitrary-sized payload produced by differential logging (Section 3.2).
+
+Checksums use CRC-32 (folded into the 64-bit field for NVRAM frames).  The
+checksum never covers the commit flag, because the commit flag is written
+*after* the rest of the frame (Algorithm 1 lines 29-35) — covering it would
+invalidate the checksum the moment the transaction commits.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import ChecksumError
+
+NV_FRAME_MAGIC = 0x4E_56_46_52  # "NVFR"
+# magic u32 | page_no u32 | offset u32 | size u32 | checksum u64 |
+# commit u32 | ckpt_id u32  — exactly 32 bytes (Section 3.2).
+# The commit field sits at byte 24, 8-byte aligned, and shares its atomic
+# 8-byte persist unit with the checkpoint id (known and unchanged), so the
+# commit-mark write is one atomic store that cannot touch the checksum —
+# the paper's "commit mark ... flushed to NVRAM with 8 bytes padding"
+# (Section 4.1).
+NV_HEADER_FMT = "<IIIIQII"
+NV_HEADER_SIZE = struct.calcsize(NV_HEADER_FMT)
+assert NV_HEADER_SIZE == 32
+_NV_COMMIT_OFFSET = 24  # byte offset of the commit field within the header
+
+FILE_HEADER_FMT = "<IIIIII"  # page_no, commit_db_size, salt1, salt2, chk1, chk2
+FILE_HEADER_SIZE = struct.calcsize(FILE_HEADER_FMT)
+
+#: Number of low bits of the checksum actually stored.  64 keeps the full
+#: (doubled) CRC; tests shrink it to make the asynchronous-commit
+#: corruption window observable (Section 4.2).
+FULL_CHECKSUM_BITS = 64
+
+
+def payload_checksum(payload: bytes, page_no: int, offset: int, bits: int = FULL_CHECKSUM_BITS) -> int:
+    """Checksum of a frame payload, bound to its page and offset."""
+    crc1 = zlib.crc32(payload)
+    crc2 = zlib.crc32(struct.pack("<II", page_no, offset), crc1)
+    value = (crc2 << 32) | crc1
+    if bits >= 64:
+        return value
+    return value & ((1 << bits) - 1)
+
+
+#: Sentinel in the header's offset field: the payload is an extent list
+#: (several dirty byte ranges of one page packed into a single frame, so
+#: differential logging never changes the frame count per transaction).
+EXTENT_LIST = 0xFFFF_FFFF
+
+_EXTENT_HEADER = struct.Struct("<HH")  # in-page offset, length
+
+
+@dataclass(frozen=True)
+class NvFrame:
+    """One decoded NVWAL frame.
+
+    ``offset`` is the in-page offset of a contiguous payload, or
+    :data:`EXTENT_LIST` when the payload packs multiple dirty extents.
+    """
+
+    page_no: int
+    offset: int
+    payload: bytes
+    checkpoint_id: int
+    commit: bool
+
+    @classmethod
+    def from_extents(
+        cls,
+        page_no: int,
+        extents: list[tuple[int, bytes]],
+        checkpoint_id: int,
+    ) -> "NvFrame":
+        """Build one frame covering all dirty extents of a page."""
+        if len(extents) == 1:
+            offset, data = extents[0]
+            return cls(page_no, offset, data, checkpoint_id, commit=False)
+        payload = b"".join(
+            _EXTENT_HEADER.pack(offset, len(data)) + data
+            for offset, data in extents
+        )
+        return cls(page_no, EXTENT_LIST, payload, checkpoint_id, commit=False)
+
+    def extent_list(self) -> list[tuple[int, bytes]]:
+        """The dirty extents this frame carries."""
+        if self.offset != EXTENT_LIST:
+            return [(self.offset, self.payload)]
+        extents = []
+        pos = 0
+        while pos + _EXTENT_HEADER.size <= len(self.payload):
+            offset, length = _EXTENT_HEADER.unpack_from(self.payload, pos)
+            pos += _EXTENT_HEADER.size
+            extents.append((offset, bytes(self.payload[pos : pos + length])))
+            pos += length
+        return extents
+
+    def apply_to(self, base: bytes) -> bytes:
+        """Apply this frame's extents to a base page image."""
+        image = bytearray(base)
+        for offset, data in self.extent_list():
+            if offset + len(data) > len(image):
+                raise ChecksumError(
+                    f"frame for page {self.page_no}: extent out of bounds"
+                )
+            image[offset : offset + len(data)] = data
+        return bytes(image)
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes."""
+        return len(self.payload)
+
+    def stored_size(self, align: int = 8) -> int:
+        """Bytes the frame occupies in NVRAM (header + padded payload)."""
+        return NV_HEADER_SIZE + _align_up(len(self.payload), align)
+
+
+def encode_nv_frame(frame: NvFrame, checksum_bits: int = FULL_CHECKSUM_BITS) -> bytes:
+    """Serialize a frame; the commit field is encoded as written (it may be
+    set later in NVRAM by the commit-mark store)."""
+    checksum = payload_checksum(
+        frame.payload, frame.page_no, frame.offset, checksum_bits
+    )
+    header = struct.pack(
+        NV_HEADER_FMT,
+        NV_FRAME_MAGIC,
+        frame.page_no,
+        frame.offset,
+        len(frame.payload),
+        checksum,
+        1 if frame.commit else 0,
+        frame.checkpoint_id,
+    )
+    padded = frame.payload + bytes(_align_up(len(frame.payload), 8) - len(frame.payload))
+    return header + padded
+
+
+def commit_mark_bytes(checkpoint_id: int) -> tuple[int, bytes]:
+    """(offset within the frame header, 8-byte commit-mark store).
+
+    The commit mark is one flag, but NVRAM guarantees 8-byte atomic writes,
+    so it is stored padded to 8 bytes (Section 4.1).  The header layout
+    places the commit field on an 8-byte-aligned offset whose atomic unit
+    also holds the (unchanged) checkpoint id, so the store stays inside the
+    frame header and rewrites nothing else.
+    """
+    return _NV_COMMIT_OFFSET, struct.pack("<II", 1, checkpoint_id)
+
+
+def decode_nv_frame_header(
+    raw: bytes, offset: int = 0
+) -> tuple[int, int, int, int, int, int, int]:
+    """Unpack a frame header; returns
+    (magic, page_no, payload_offset, size, checksum, ckpt_id, commit)."""
+    magic, page_no, off, size, checksum, commit, ckpt = struct.unpack_from(
+        NV_HEADER_FMT, raw, offset
+    )
+    return magic, page_no, off, size, checksum, ckpt, commit
+
+
+def validate_nv_frame(
+    page_no: int,
+    offset: int,
+    payload: bytes,
+    stored_checksum: int,
+    checksum_bits: int = FULL_CHECKSUM_BITS,
+) -> None:
+    """Raise :class:`ChecksumError` unless the payload matches."""
+    expected = payload_checksum(payload, page_no, offset, checksum_bits)
+    if expected != stored_checksum:
+        raise ChecksumError(
+            f"frame for page {page_no} offset {offset}: checksum mismatch"
+        )
+
+
+# ---------------------------------------------------------------------------
+# file WAL frames
+# ---------------------------------------------------------------------------
+
+
+def encode_file_frame(
+    page_no: int, page_image: bytes, commit_db_size: int, salt: int
+) -> bytes:
+    """Serialize a stock SQLite-style WAL frame (24-byte header + page)."""
+    chk1 = zlib.crc32(struct.pack("<III", page_no, commit_db_size, salt))
+    chk2 = zlib.crc32(page_image, chk1)
+    header = struct.pack(
+        FILE_HEADER_FMT, page_no, commit_db_size, salt, salt ^ 0xDEADBEEF, chk1, chk2
+    )
+    return header + page_image
+
+
+def decode_file_frame(
+    raw: bytes, page_size: int, salt: int
+) -> tuple[int, int, bytes] | None:
+    """Decode and validate one file frame.
+
+    Returns (page_no, commit_db_size, page_image) or None if the frame is
+    torn, stale (wrong salt), or checksum-invalid — recovery stops there.
+    """
+    if len(raw) < FILE_HEADER_SIZE + page_size:
+        return None
+    page_no, commit_db_size, salt1, salt2, chk1, chk2 = struct.unpack_from(
+        FILE_HEADER_FMT, raw, 0
+    )
+    if salt1 != salt or salt2 != (salt ^ 0xDEADBEEF) or page_no == 0:
+        return None
+    image = raw[FILE_HEADER_SIZE : FILE_HEADER_SIZE + page_size]
+    expect1 = zlib.crc32(struct.pack("<III", page_no, commit_db_size, salt))
+    expect2 = zlib.crc32(image, expect1)
+    if chk1 != expect1 or chk2 != expect2:
+        return None
+    return page_no, commit_db_size, bytes(image)
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment

@@ -1,0 +1,166 @@
+"""SQLite rollback-journal mode — the pre-WAL baseline.
+
+Sections 1–2 of the paper motivate WAL by contrast with rollback journal
+modes: journaling "modifies two files" (the rollback journal *and* the
+database file) and therefore needs more ``fsync()`` calls per transaction.
+This backend reproduces SQLite's DELETE-mode journal so that claim is
+measurable:
+
+commit protocol (per transaction):
+
+1. write the *pre-images* of every page about to change into
+   ``<db>-journal`` (header + records), then ``fsync`` the journal —
+   undo information must be durable before the database is touched;
+2. write the new page images into the database file in place, ``fsync``;
+3. invalidate the journal (truncate to zero) and ``fsync`` again —
+   this is the commit point.
+
+Recovery: a non-empty journal with valid records is "hot" — the
+transaction it belongs to did not reach its commit point, so the original
+pages are rolled back into the database file.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.hw.stats import TimeBucket
+from repro.storage.ext4 import Ext4FileSystem, File
+from repro.system import System
+from repro.wal.base import DEFAULT_CHECKPOINT_THRESHOLD, WalBackend
+
+_JOURNAL_MAGIC = 0x524A_4E4C  # "RJNL"
+_HEADER_FMT = "<IIII"  # magic, page_size, record_count, nonce
+_HEADER_SIZE = 32
+_RECORD_HEADER_FMT = "<III"  # page_no, checksum, pad
+
+
+class RollbackJournalBackend(WalBackend):
+    """DELETE-mode rollback journaling (the paper's status-quo baseline)."""
+
+    def __init__(self, system: System) -> None:
+        super().__init__(DEFAULT_CHECKPOINT_THRESHOLD)
+        self.system = system
+        self.journal_file: File | None = None
+        self._nonce = 1
+
+    @property
+    def name(self) -> str:
+        """Series label for benchmarks."""
+        return "Rollback journal"
+
+    # ------------------------------------------------------------------
+    # binding
+    # ------------------------------------------------------------------
+
+    def bind_files(
+        self, db_file: File, fs: Ext4FileSystem, journal_name: str
+    ) -> None:
+        """Attach the database file and create/open the journal file."""
+        self.bind(db_file)
+        if fs.exists(journal_name):
+            self.journal_file = fs.open(journal_name)
+        else:
+            self.journal_file = fs.create(journal_name)
+
+    # ------------------------------------------------------------------
+    # commit protocol
+    # ------------------------------------------------------------------
+
+    def write_transaction(
+        self,
+        dirty_pages: dict[int, bytes],
+        commit: bool = True,
+        pre_images: dict[int, bytes] | None = None,
+    ) -> None:
+        """Journal undo images, update the database in place, invalidate."""
+        if self.db_file is None or self.journal_file is None:
+            raise RuntimeError("rollback journal is not bound")
+        if not dirty_pages:
+            return
+        if pre_images is None:
+            raise RuntimeError(
+                "rollback journaling requires the pre-transaction images"
+            )
+        costs = self.system.config.db_costs
+        page_size = self.system.page_size
+
+        # 1. undo log first
+        self._nonce += 1
+        header = struct.pack(
+            _HEADER_FMT, _JOURNAL_MAGIC, page_size, len(dirty_pages), self._nonce
+        ).ljust(_HEADER_SIZE, b"\x00")
+        self.journal_file.write(0, header)
+        offset = _HEADER_SIZE
+        for pno in dirty_pages:
+            self.system.cpu.compute(costs.frame_assembly_ns, TimeBucket.CPU)
+            original = pre_images[pno]
+            record = struct.pack(
+                _RECORD_HEADER_FMT, pno, zlib.crc32(original), 0
+            ) + original
+            self.journal_file.write(offset, record)
+            offset += len(record)
+        self.journal_file.fsync()
+
+        # 2. database file in place
+        if commit:
+            for pno, image in dirty_pages.items():
+                self.db_file.write((pno - 1) * page_size, image)
+            self.db_file.fsync()
+            # 3. commit point: invalidate the journal
+            self.journal_file.truncate(0)
+            self.journal_file.fsync()
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def recover(self) -> dict[int, bytes]:
+        """Roll back a hot journal, if any; the database file is then the
+        authoritative state (nothing to install in the page cache)."""
+        if self.db_file is None or self.journal_file is None:
+            raise RuntimeError("rollback journal is not bound")
+        page_size = self.system.page_size
+        raw = self.journal_file.read(0, _HEADER_SIZE)
+        if len(raw) < _HEADER_SIZE:
+            return {}
+        magic, journal_page_size, count, _nonce = struct.unpack_from(
+            _HEADER_FMT, raw, 0
+        )
+        if magic != _JOURNAL_MAGIC or journal_page_size != page_size:
+            return {}
+        # hot journal: restore every valid record
+        restored: dict[int, bytes] = {}
+        offset = _HEADER_SIZE
+        record_size = struct.calcsize(_RECORD_HEADER_FMT) + page_size
+        for _ in range(count):
+            record = self.journal_file.read(offset, record_size)
+            if len(record) < record_size:
+                break
+            pno, checksum, _pad = struct.unpack_from(_RECORD_HEADER_FMT, record, 0)
+            image = record[struct.calcsize(_RECORD_HEADER_FMT) :]
+            if zlib.crc32(image) != checksum or pno == 0:
+                break  # torn journal tail: journaling stopped mid-write
+            restored[pno] = image
+            offset += record_size
+        for pno, image in restored.items():
+            self.db_file.write((pno - 1) * page_size, image)
+        if restored:
+            self.db_file.fsync()
+        self.journal_file.truncate(0)
+        self.journal_file.fsync()
+        # Rolled-back pages must replace anything the pager read earlier.
+        return restored
+
+    # ------------------------------------------------------------------
+    # checkpointing is meaningless here: data is already in the db file
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """No-op: journal mode has no log to migrate."""
+        return 0
+
+    def frame_count(self) -> int:
+        """Always zero — nothing accumulates between transactions."""
+        return 0

@@ -1,0 +1,109 @@
+"""Tests for the Mobibench workload generator and harness plumbing."""
+
+import pytest
+
+from repro.bench.harness import BackendSpec, make_database, run_workload, sweep_latency
+from repro.bench.mobibench import Mobibench, RunResult, WorkloadSpec
+from repro.config import tuna
+from repro.hw.stats import TimeBucket
+from repro.wal.nvwal import NvwalScheme
+
+
+class TestWorkloadSpec:
+    def test_invalid_op_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(op="upsert")
+
+    def test_defaults_match_paper(self):
+        spec = WorkloadSpec()
+        assert spec.txns == 1000
+        assert spec.ops_per_txn == 1
+        assert spec.value_size == 100
+
+
+class TestRuns:
+    def test_insert_run_populates_table(self):
+        db = make_database(tuna(), BackendSpec.nvwal(NvwalScheme.uh_ls_diff()))
+        bench = Mobibench(db, WorkloadSpec(op="insert", txns=20))
+        bench.prepare()
+        result = bench.run()
+        assert result.txns == 20
+        assert db.row_count("mobibench") == 20
+        assert result.throughput() > 0
+
+    def test_update_run_prepopulates(self):
+        db = make_database(tuna(), BackendSpec.nvwal(NvwalScheme.uh_ls_diff()))
+        bench = Mobibench(db, WorkloadSpec(op="update", txns=10, ops_per_txn=2))
+        bench.prepare()
+        assert db.row_count("mobibench") == 20
+        result = bench.run()
+        assert result.txns == 10
+        assert db.row_count("mobibench") == 20  # updates do not change count
+
+    def test_delete_run_empties_table(self):
+        db = make_database(tuna(), BackendSpec.nvwal(NvwalScheme.uh_ls_diff()))
+        bench = Mobibench(db, WorkloadSpec(op="delete", txns=10))
+        bench.prepare()
+        bench.run()
+        assert db.row_count("mobibench") == 0
+
+    def test_checkpoint_time_isolated(self):
+        db = make_database(
+            tuna(),
+            BackendSpec.nvwal(NvwalScheme.uh_ls_diff(), threshold=10),
+        )
+        bench = Mobibench(db, WorkloadSpec(op="insert", txns=30))
+        bench.prepare()
+        result = bench.run()
+        assert result.checkpoints >= 2
+        assert result.checkpoint_time_ns > 0
+        assert result.throughput(include_checkpoint=True) < result.throughput()
+
+    def test_stats_are_per_run(self):
+        db = make_database(tuna(), BackendSpec.nvwal(NvwalScheme.ls()))
+        bench = Mobibench(db, WorkloadSpec(op="insert", txns=5))
+        bench.prepare()
+        result = bench.run()
+        assert result.per_txn("memcpy_bytes") > 0
+        assert result.time_per_txn_us(TimeBucket.MEMCPY) > 0
+        assert result.mean_txn_us() > 0
+
+
+class TestHarness:
+    def test_backend_labels(self):
+        assert (
+            BackendSpec.nvwal(NvwalScheme.uh_ls_diff()).label
+            == "NVWAL UH+LS+Diff"
+        )
+        assert BackendSpec.file(optimized=True).label == "Optimized WAL on eMMC"
+        assert BackendSpec.file(optimized=False).label == "WAL on eMMC"
+
+    def test_run_workload_end_to_end(self):
+        result = run_workload(
+            tuna(),
+            BackendSpec.nvwal(NvwalScheme.uh_ls_diff()),
+            WorkloadSpec(op="insert", txns=10),
+        )
+        assert isinstance(result, RunResult)
+        assert result.txns == 10
+
+    def test_sweep_latency_monotonic_shape(self):
+        points = sweep_latency(
+            tuna(),
+            BackendSpec.nvwal(NvwalScheme.ls()),
+            WorkloadSpec(op="insert", txns=15),
+            latencies_ns=[400, 1900],
+        )
+        assert len(points) == 2
+        # higher latency, lower throughput
+        assert points[0][1] > points[1][1]
+
+    def test_file_backend_runs(self):
+        from repro.config import nexus5
+
+        result = run_workload(
+            nexus5(),
+            BackendSpec.file(optimized=True),
+            WorkloadSpec(op="insert", txns=5),
+        )
+        assert result.txns == 5

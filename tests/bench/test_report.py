@@ -1,0 +1,41 @@
+"""Tests for report rendering."""
+
+from repro.bench.report import Report, Table
+
+
+def test_table_alignment():
+    table = Table(["name", "value"], [["short", 1], ["a-much-longer-name", 22]])
+    lines = table.render().splitlines()
+    assert lines[0].startswith("name")
+    assert all(len(line) >= len("a-much-longer-name") for line in lines[1:])
+
+
+def test_table_title():
+    table = Table(["a"], [[1]], title="my table")
+    assert table.render().splitlines()[0] == "my table"
+
+
+def test_float_formatting():
+    table = Table(["x"], [[0.0], [0.1234], [3.14159], [123.456]])
+    rendered = table.render()
+    assert "0.123" in rendered
+    assert "3.1" in rendered
+    assert "123" in rendered
+
+
+def test_empty_table_renders_headers():
+    table = Table(["only", "headers"], [])
+    assert "only" in table.render()
+
+
+def test_report_combines_notes_and_tables():
+    report = Report(
+        "Figure X",
+        "a title",
+        tables=[Table(["h"], [[1]])],
+        notes=["first note", "second note"],
+    )
+    text = report.render()
+    assert text.startswith("== Figure X: a title ==")
+    assert "first note" in text
+    assert "h" in text

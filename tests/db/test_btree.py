@@ -1,0 +1,261 @@
+"""Tests for the B+tree, including a hypothesis model check."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import System, tuna
+from repro.db.btree import BTree
+from repro.db.pager import Pager
+from repro.errors import DuplicateKey, KeyNotFound, PageError
+
+
+def make_tree():
+    system = System(tuna(), seed=0)
+    db_file = system.fs.create("tree.db")
+    pager = Pager(system, db_file)
+    pager.begin()
+    tree = BTree.create(pager)
+    return tree, pager
+
+
+@pytest.fixture
+def tree():
+    return make_tree()[0]
+
+
+class TestBasics:
+    def test_empty_tree(self, tree):
+        assert tree.get(1) is None
+        assert tree.count() == 0
+        assert tree.min_key() is None
+        assert tree.max_key() is None
+        assert tree.depth() == 1
+
+    def test_insert_get(self, tree):
+        tree.insert(5, b"five")
+        assert tree.get(5) == b"five"
+        assert tree.get(6) is None
+
+    def test_duplicate_rejected(self, tree):
+        tree.insert(1, b"a")
+        with pytest.raises(DuplicateKey):
+            tree.insert(1, b"b")
+
+    def test_replace(self, tree):
+        tree.insert(1, b"a")
+        tree.insert(1, b"b", replace=True)
+        assert tree.get(1) == b"b"
+        assert tree.count() == 1
+
+    def test_negative_keys(self, tree):
+        tree.insert(-100, b"neg")
+        tree.insert(100, b"pos")
+        assert [k for k, _ in tree.scan()] == [-100, 100]
+
+    def test_large_payload_spills_to_overflow(self, tree):
+        big = bytes(range(256)) * 20  # 5120 bytes, > one page
+        tree.insert(1, big)
+        assert tree.get(1) == big
+
+    def test_overflow_chain_spans_pages(self, tree):
+        huge = b"v" * 20000
+        tree.insert(1, huge)
+        assert tree.get(1) == huge
+        assert tree.count() == 1
+
+    def test_overflow_pages_freed_on_delete(self, tree):
+        n_before = tree.pager.n_pages
+        tree.insert(1, b"x" * 10000)
+        tree.delete(1)
+        # freelist reuse: inserting again allocates no new pages
+        grown = tree.pager.n_pages
+        tree.insert(2, b"y" * 10000)
+        assert tree.pager.n_pages == grown
+
+    def test_overflow_update_shrinks_back_inline(self, tree):
+        tree.insert(1, b"x" * 9000)
+        tree.update(1, b"small")
+        assert tree.get(1) == b"small"
+        # freed chain pages are reusable
+        assert tree.pager.freelist_head != 0
+
+    def test_overflow_replace_via_upsert(self, tree):
+        tree.insert(1, b"x" * 9000)
+        tree.insert(1, b"y" * 7000, replace=True)
+        assert tree.get(1) == b"y" * 7000
+
+    def test_overflow_survives_splits(self, tree):
+        big = b"z" * 6000
+        tree.insert(500, big)
+        for key in range(300):
+            tree.insert(key, b"v" * 100)
+        assert tree.get(500) == big
+        tree.check_invariants()
+
+    def test_min_max(self, tree):
+        for key in (5, 1, 9):
+            tree.insert(key, b"v")
+        assert tree.min_key() == 1
+        assert tree.max_key() == 9
+
+
+class TestSplits:
+    def test_many_sequential_inserts_split(self, tree):
+        n = 500
+        for key in range(n):
+            tree.insert(key, b"v" * 100)
+        assert tree.depth() >= 2
+        tree.check_invariants()
+        assert tree.count() == n
+        for key in (0, n // 2, n - 1):
+            assert tree.get(key) == b"v" * 100
+
+    def test_reverse_inserts(self, tree):
+        for key in range(400, 0, -1):
+            tree.insert(key, b"v" * 100)
+        tree.check_invariants()
+        assert [k for k, _ in tree.scan()] == list(range(1, 401))
+
+    def test_root_page_number_is_stable(self, tree):
+        root = tree.root
+        for key in range(4000):
+            tree.insert(key, b"v" * 350)
+        assert tree.root == root
+        assert tree.depth() >= 3  # interior levels grew under a fixed root
+        tree.check_invariants()
+        assert tree.count() == 4000
+
+    def test_interleaved_inserts(self, tree):
+        keys = [(i * 37) % 1000 for i in range(1000)]
+        for key in dict.fromkeys(keys):
+            tree.insert(key, f"p{key}".encode())
+        tree.check_invariants()
+        for key in dict.fromkeys(keys):
+            assert tree.get(key) == f"p{key}".encode()
+
+
+class TestScan:
+    def test_full_scan_ordered(self, tree):
+        for key in (5, 3, 8, 1):
+            tree.insert(key, str(key).encode())
+        assert [k for k, _ in tree.scan()] == [1, 3, 5, 8]
+
+    def test_range_scan(self, tree):
+        for key in range(20):
+            tree.insert(key, b"v")
+        assert [k for k, _ in tree.scan(5, 9)] == [5, 6, 7, 8, 9]
+        assert [k for k, _ in tree.scan(lo=18)] == [18, 19]
+        assert [k for k, _ in tree.scan(hi=1)] == [0, 1]
+
+    def test_range_scan_across_leaves(self, tree):
+        for key in range(300):
+            tree.insert(key, b"v" * 100)
+        assert [k for k, _ in tree.scan(90, 130)] == list(range(90, 131))
+
+    def test_scan_with_missing_bounds(self, tree):
+        for key in (10, 20, 30):
+            tree.insert(key, b"v")
+        assert [k for k, _ in tree.scan(11, 29)] == [20]
+
+
+class TestDeleteUpdate:
+    def test_delete_missing_raises(self, tree):
+        with pytest.raises(KeyNotFound):
+            tree.delete(1)
+
+    def test_delete_present(self, tree):
+        tree.insert(1, b"a")
+        tree.delete(1)
+        assert tree.get(1) is None
+        assert tree.count() == 0
+
+    def test_update_in_place(self, tree):
+        tree.insert(1, b"aaaa")
+        tree.update(1, b"bbbb")
+        assert tree.get(1) == b"bbbb"
+
+    def test_update_missing_raises(self, tree):
+        with pytest.raises(KeyNotFound):
+            tree.update(1, b"x")
+
+    def test_update_with_growth(self, tree):
+        for key in range(200):
+            tree.insert(key, b"v" * 100)
+        tree.update(100, b"w" * 500)
+        assert tree.get(100) == b"w" * 500
+        tree.check_invariants()
+
+    def test_delete_everything_in_big_tree(self, tree):
+        n = 400
+        for key in range(n):
+            tree.insert(key, b"v" * 100)
+        for key in range(n):
+            tree.delete(key)
+        assert tree.count() == 0
+        tree.check_invariants()
+
+    def test_delete_reverse_order(self, tree):
+        n = 300
+        for key in range(n):
+            tree.insert(key, b"v" * 100)
+        for key in reversed(range(n)):
+            tree.delete(key)
+            assert tree.get(key) is None
+        assert tree.count() == 0
+
+    def test_alternating_insert_delete(self, tree):
+        alive = set()
+        for i in range(600):
+            key = (i * 7) % 200
+            if key in alive:
+                tree.delete(key)
+                alive.discard(key)
+            else:
+                tree.insert(key, b"v" * 80)
+                alive.add(key)
+        tree.check_invariants()
+        assert {k for k, _ in tree.scan()} == alive
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "update", "get"]),
+            st.integers(min_value=0, max_value=120),
+            st.binary(min_size=0, max_size=180),
+        ),
+        max_size=150,
+    )
+)
+def test_btree_matches_dict_model(ops):
+    """The B+tree behaves exactly like a dict under random operations."""
+    tree, _pager = make_tree()
+    model: dict[int, bytes] = {}
+    for op, key, payload in ops:
+        if op == "insert":
+            if key in model:
+                with pytest.raises(DuplicateKey):
+                    tree.insert(key, payload)
+            else:
+                tree.insert(key, payload)
+                model[key] = payload
+        elif op == "delete":
+            if key in model:
+                tree.delete(key)
+                del model[key]
+            else:
+                with pytest.raises(KeyNotFound):
+                    tree.delete(key)
+        elif op == "update":
+            if key in model:
+                tree.update(key, payload)
+                model[key] = payload
+            else:
+                with pytest.raises(KeyNotFound):
+                    tree.update(key, payload)
+        else:
+            assert tree.get(key) == model.get(key)
+    assert dict(tree.scan()) == model
+    tree.check_invariants()

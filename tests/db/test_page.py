@@ -1,0 +1,171 @@
+"""Tests for the slotted page."""
+
+import pytest
+
+from repro.db.page import HEADER_SIZE, SLOT_SIZE, SlottedPage
+from repro.errors import PageError
+
+
+@pytest.fixture
+def leaf():
+    return SlottedPage.init_leaf(bytearray(4096))
+
+
+@pytest.fixture
+def interior():
+    return SlottedPage.init_interior(bytearray(4096))
+
+
+class TestLeaf:
+    def test_empty_state(self, leaf):
+        assert leaf.is_leaf
+        assert leaf.n_cells == 0
+        assert leaf.free_space() == 4096 - HEADER_SIZE
+        assert leaf.keys() == []
+
+    def test_insert_and_read(self, leaf):
+        leaf.insert_leaf_cell(5, b"five")
+        assert leaf.keys() == [5]
+        assert leaf.leaf_payload(0) == b"five"
+        assert leaf.cell_key(0) == 5
+
+    def test_slots_stay_key_ordered(self, leaf):
+        for key in (30, 10, 20):
+            leaf.insert_leaf_cell(key, str(key).encode())
+        assert leaf.keys() == [10, 20, 30]
+        assert [leaf.leaf_payload(i) for i in range(3)] == [b"10", b"20", b"30"]
+
+    def test_find(self, leaf):
+        for key in (10, 20, 30):
+            leaf.insert_leaf_cell(key, b"x")
+        assert leaf.find(20) == (1, True)
+        assert leaf.find(15) == (1, False)
+        assert leaf.find(5) == (0, False)
+        assert leaf.find(35) == (3, False)
+
+    def test_duplicate_key_rejected(self, leaf):
+        leaf.insert_leaf_cell(1, b"a")
+        with pytest.raises(PageError):
+            leaf.insert_leaf_cell(1, b"b")
+
+    def test_free_space_accounting(self, leaf):
+        before = leaf.free_space()
+        leaf.insert_leaf_cell(1, b"x" * 10)
+        used = leaf.leaf_cell_size(10) + SLOT_SIZE
+        assert leaf.free_space() == before - used
+
+    def test_overflow_rejected(self, leaf):
+        with pytest.raises(PageError):
+            leaf.insert_leaf_cell(1, b"x" * 5000)
+
+    def test_fill_until_full(self, leaf):
+        count = 0
+        while leaf.can_fit(leaf.leaf_cell_size(100)):
+            leaf.insert_leaf_cell(count, b"v" * 100)
+            count += 1
+        assert count > 30
+        with pytest.raises(PageError):
+            leaf.insert_leaf_cell(count, b"v" * 100)
+
+    def test_delete_compacts(self, leaf):
+        for key in range(5):
+            leaf.insert_leaf_cell(key, f"val{key}".encode())
+        cs_before = leaf.content_start
+        leaf.delete_cell(2)
+        assert leaf.keys() == [0, 1, 3, 4]
+        assert leaf.content_start > cs_before
+        assert leaf.leaf_payload(2) == b"val3"
+
+    def test_delete_first_and_last(self, leaf):
+        for key in range(4):
+            leaf.insert_leaf_cell(key, b"p")
+        leaf.delete_cell(0)
+        leaf.delete_cell(leaf.n_cells - 1)
+        assert leaf.keys() == [1, 2]
+
+    def test_delete_all_restores_free_space(self, leaf):
+        empty = leaf.free_space()
+        for key in range(10):
+            leaf.insert_leaf_cell(key, b"payload")
+        while leaf.n_cells:
+            leaf.delete_cell(0)
+        assert leaf.free_space() == empty
+
+    def test_update_same_size_in_place(self, leaf):
+        leaf.insert_leaf_cell(1, b"AAAA")
+        cs = leaf.content_start
+        leaf.update_leaf_payload(0, b"BBBB")
+        assert leaf.leaf_payload(0) == b"BBBB"
+        assert leaf.content_start == cs
+
+    def test_update_grow(self, leaf):
+        leaf.insert_leaf_cell(1, b"short")
+        leaf.insert_leaf_cell(2, b"other")
+        leaf.update_leaf_payload(0, b"much longer payload")
+        assert leaf.leaf_payload(leaf.find(1)[0]) == b"much longer payload"
+        assert leaf.leaf_payload(leaf.find(2)[0]) == b"other"
+
+    def test_update_that_cannot_fit_raises_without_damage(self, leaf):
+        big = (4096 - HEADER_SIZE) // 2
+        leaf.insert_leaf_cell(1, b"a" * big)
+        leaf.insert_leaf_cell(2, b"b" * (big - 40))
+        with pytest.raises(PageError):
+            leaf.update_leaf_payload(0, b"c" * (big + 100))
+        assert leaf.leaf_payload(0) == b"a" * big  # untouched
+
+    def test_usable_size_reserve(self):
+        page = SlottedPage.init_leaf(bytearray(4096), usable_size=4072)
+        assert page.free_space() == 4072 - HEADER_SIZE
+        page.insert_leaf_cell(1, b"x")
+        assert page.cell_offset(0) < 4072
+
+    def test_aux_pointer(self, leaf):
+        leaf.aux = 42
+        assert leaf.aux == 42
+
+
+class TestInterior:
+    def test_insert_and_route(self, interior):
+        interior.insert_interior_cell(10, 2)
+        interior.insert_interior_cell(20, 3)
+        interior.aux = 4
+        assert interior.interior_child(0) == 2
+        assert interior.interior_child(1) == 3
+        assert interior.aux == 4
+
+    def test_replace_child(self, interior):
+        interior.insert_interior_cell(10, 2)
+        interior.replace_interior_child(0, 9)
+        assert interior.interior_child(0) == 9
+        assert interior.cell_key(0) == 10
+
+    def test_leaf_ops_rejected(self, interior):
+        with pytest.raises(PageError):
+            interior.insert_leaf_cell(1, b"x")
+        interior.insert_interior_cell(1, 2)
+        with pytest.raises(PageError):
+            interior.leaf_payload(0)
+
+    def test_interior_ops_rejected_on_leaf(self, leaf):
+        with pytest.raises(PageError):
+            leaf.insert_interior_cell(1, 2)
+
+    def test_delete_interior_cell(self, interior):
+        interior.insert_interior_cell(10, 2)
+        interior.insert_interior_cell(20, 3)
+        interior.delete_cell(0)
+        assert interior.keys() == [20]
+        assert interior.interior_child(0) == 3
+
+
+class TestBounds:
+    def test_bad_slot_index(self, leaf):
+        with pytest.raises(PageError):
+            leaf.cell_offset(0)
+        leaf.insert_leaf_cell(1, b"x")
+        with pytest.raises(PageError):
+            leaf.cell_offset(1)
+
+    def test_usable_size_larger_than_buffer(self):
+        with pytest.raises(PageError):
+            SlottedPage(bytearray(100), usable_size=200)

@@ -1,0 +1,160 @@
+"""Tests for the pager: header, allocation, transactional snapshots."""
+
+import pytest
+
+from repro import System, tuna
+from repro.db.pager import EARLY_SPLIT_RESERVE, Pager
+from repro.errors import DatabaseError, PageError
+
+
+@pytest.fixture
+def system():
+    return System(tuna(), seed=0)
+
+
+@pytest.fixture
+def pager(system):
+    return Pager(system, system.fs.create("p.db"))
+
+
+class TestHeader:
+    def test_fresh_header(self, pager):
+        assert pager.n_pages == 1
+        assert pager.freelist_head == 0
+        assert pager.catalog_root == 0
+        assert pager.schema_cookie == 0
+
+    def test_header_fields_persist_via_page1(self, pager):
+        pager.begin()
+        pager.catalog_root = 7
+        pager.schema_cookie = 3
+        assert pager.catalog_root == 7
+        assert pager.schema_cookie == 3
+        assert 1 in pager.dirty_pages()
+
+    def test_page_size_mismatch_detected(self, system):
+        f = system.fs.create("bad.db")
+        f.write(0, b"\x00" * 4096)  # nonzero size, garbage header
+        with pytest.raises(DatabaseError):
+            Pager(system, f)
+
+    def test_early_split_reserve(self, system):
+        full = Pager(system, system.fs.create("a.db"), early_split=False)
+        trimmed = Pager(system, system.fs.create("b.db"), early_split=True)
+        assert full.usable_size == 4096
+        assert trimmed.usable_size == 4096 - EARLY_SPLIT_RESERVE
+
+
+class TestAllocation:
+    def test_allocate_extends(self, pager):
+        pager.begin()
+        assert pager.allocate_page() == 2
+        assert pager.allocate_page() == 3
+        assert pager.n_pages == 3
+
+    def test_free_and_reuse(self, pager):
+        pager.begin()
+        p2 = pager.allocate_page()
+        p3 = pager.allocate_page()
+        pager.free_page(p2)
+        assert pager.freelist_head == p2
+        assert pager.allocate_page() == p2
+        assert pager.freelist_head == 0
+
+    def test_freelist_chains(self, pager):
+        pager.begin()
+        pages = [pager.allocate_page() for _ in range(3)]
+        for pno in pages:
+            pager.free_page(pno)
+        # LIFO reuse
+        assert pager.allocate_page() == pages[-1]
+        assert pager.allocate_page() == pages[-2]
+
+    def test_cannot_free_header_page(self, pager):
+        pager.begin()
+        with pytest.raises(PageError):
+            pager.free_page(1)
+
+    def test_reused_page_is_zeroed(self, pager):
+        pager.begin()
+        pno = pager.allocate_page()
+        pager.get_page(pno)[:] = b"\xaa" * 4096
+        pager.free_page(pno)
+        again = pager.allocate_page()
+        assert again == pno
+        assert bytes(pager.get_page(pno)) == bytes(4096)
+
+
+class TestTransactions:
+    def test_modify_outside_txn_rejected(self, pager):
+        with pytest.raises(DatabaseError):
+            pager.mark_dirty(1)
+
+    def test_nested_begin_rejected(self, pager):
+        pager.begin()
+        with pytest.raises(DatabaseError):
+            pager.begin()
+
+    def test_dirty_pages_in_first_dirtied_order(self, pager):
+        pager.begin()
+        p2 = pager.allocate_page()
+        pager.mark_dirty(1)
+        assert list(pager.dirty_pages()) == [1, p2]
+
+    def test_rollback_restores_preimages(self, pager):
+        pager.begin()
+        pager.mark_dirty(1)
+        pager.catalog_root = 99
+        pager.rollback()
+        assert pager.catalog_root == 0
+        assert not pager.in_transaction
+
+    def test_rollback_undoes_allocation(self, pager):
+        pager.begin()
+        pager.allocate_page()
+        pager.rollback()
+        assert pager.n_pages == 1
+
+    def test_commit_clears_tracking(self, pager):
+        pager.begin()
+        pager.mark_dirty(1)
+        pager.commit_finish()
+        assert not pager.in_transaction
+        pager.begin()
+        assert pager.dirty_pages() == {}
+
+    def test_snapshot_taken_once(self, pager):
+        pager.begin()
+        pager.mark_dirty(1)
+        pager.get_page(1)[100] = 1
+        pager.mark_dirty(1)  # second mark must not re-snapshot
+        pager.get_page(1)[100] = 2
+        pager.rollback()
+        assert pager.get_page(1)[100] == 0
+
+
+class TestBackingFile:
+    def test_read_through_from_file(self, system):
+        f = system.fs.create("rt.db")
+        pager = Pager(system, f)
+        pager.begin()
+        pager.mark_dirty(1)
+        image = pager.page_image(1)
+        f.write(0, image)
+        f.write(4096, b"\x07" * 4096)
+        pager.commit_finish()
+        pager.drop_cache()
+        assert bytes(pager.get_page(2)) == b"\x07" * 4096
+
+    def test_install_page(self, pager):
+        pager.install_page(5, b"\x01" * 4096)
+        assert bytes(pager.get_page(5)) == b"\x01" * 4096
+
+    def test_install_wrong_size_rejected(self, pager):
+        with pytest.raises(PageError):
+            pager.install_page(5, b"short")
+
+    def test_drop_cache_mid_txn_rejected(self, pager):
+        pager.begin()
+        with pytest.raises(DatabaseError):
+            pager.drop_cache()

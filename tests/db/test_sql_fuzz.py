@@ -1,0 +1,57 @@
+"""Fuzz the SQL front end: arbitrary input must parse or raise SqlError."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.sql.parser import parse
+from repro.errors import SqlError
+
+sql_fragments = st.sampled_from(
+    [
+        "SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "TABLE", "FROM",
+        "WHERE", "VALUES", "INTO", "SET", "AND", "OR", "NOT", "BETWEEN",
+        "ORDER", "BY", "LIMIT", "key", "value", "t", "(", ")", ",", "*",
+        "?", "=", "<", ">", "<=", ">=", "!=", "1", "3.5", "'text'", "NULL",
+        "PRIMARY", "KEY", "INTEGER", "TEXT", ";", "-", "+", "/", "COUNT",
+    ]
+)
+
+
+@settings(max_examples=400, deadline=None)
+@given(st.lists(sql_fragments, min_size=1, max_size=12))
+def test_token_soup_never_crashes(fragments):
+    """Random keyword soup either parses or raises SqlError — never an
+    unhandled exception."""
+    text = " ".join(fragments)
+    try:
+        parse(text)
+    except SqlError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=60))
+def test_arbitrary_text_never_crashes(text):
+    try:
+        parse(text)
+    except SqlError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    key=st.integers(min_value=-(2**62), max_value=2**62),
+    value=st.text(
+        alphabet=st.characters(blacklist_categories=("Cs",)), max_size=50
+    ),
+)
+def test_roundtrip_through_parameters(key, value):
+    """Any value makes it through the parameter path unmangled."""
+    from repro import System, tuna
+    from tests.conftest import make_nvwal_db
+
+    system = System(tuna(), seed=0)
+    db = make_nvwal_db(system)
+    db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v TEXT)")
+    db.execute("INSERT INTO t VALUES (?, ?)", (key, value))
+    assert db.query("SELECT v FROM t WHERE k = ?", (key,)) == [(value,)]

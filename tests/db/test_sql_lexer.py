@@ -1,0 +1,66 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.db.sql.lexer import Token, tokenize
+from repro.errors import SqlError
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]
+
+
+def test_keywords_case_insensitive():
+    assert kinds("select Select SELECT") == [("keyword", "SELECT")] * 3
+
+
+def test_identifiers():
+    assert kinds("foo _bar baz2") == [
+        ("ident", "foo"), ("ident", "_bar"), ("ident", "baz2"),
+    ]
+
+
+def test_soft_keywords_are_identifiers():
+    assert kinds("key count")[0][0] == "ident"
+    assert kinds("key count")[1][0] == "ident"
+
+
+def test_integers_and_floats():
+    assert kinds("42 3.5 .5") == [("int", 42), ("float", 3.5), ("float", 0.5)]
+
+
+def test_strings_with_escapes():
+    assert kinds("'it''s'") == [("string", "it's")]
+    assert kinds("''") == [("string", "")]
+
+
+def test_unterminated_string():
+    with pytest.raises(SqlError):
+        tokenize("'oops")
+
+
+def test_two_char_operators():
+    assert kinds("<= >= != <>") == [
+        ("punct", "<="), ("punct", ">="), ("punct", "!="), ("punct", "<>"),
+    ]
+
+
+def test_punctuation():
+    assert kinds("( ) , * ? = ;") == [
+        ("punct", "("), ("punct", ")"), ("punct", ","), ("punct", "*"),
+        ("punct", "?"), ("punct", "="), ("punct", ";"),
+    ]
+
+
+def test_bad_character():
+    with pytest.raises(SqlError):
+        tokenize("SELECT @")
+
+
+def test_eof_token_appended():
+    tokens = tokenize("x")
+    assert tokens[-1].kind == "eof"
+
+
+def test_whitespace_ignored():
+    assert kinds("  a\n\tb ") == [("ident", "a"), ("ident", "b")]

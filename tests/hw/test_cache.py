@@ -1,0 +1,117 @@
+"""Tests for the write-back cache overlay."""
+
+import pytest
+
+from repro.config import CacheConfig, NvramConfig
+from repro.errors import AddressError
+from repro.hw.cache import CacheHierarchy
+from repro.hw.memory import NvramDevice
+
+
+@pytest.fixture
+def nvram():
+    return NvramDevice(NvramConfig(size=1 << 16))
+
+
+@pytest.fixture
+def cache(nvram):
+    return CacheHierarchy(CacheConfig(line_size=32), nvram)
+
+
+def test_store_then_load_roundtrip(cache):
+    cache.store(100, b"hello")
+    assert cache.load(100, 5) == b"hello"
+
+
+def test_store_is_volatile(cache, nvram):
+    cache.store(100, b"hello")
+    assert nvram.read(100, 5) == b"\x00" * 5
+
+
+def test_load_falls_back_to_device(cache, nvram):
+    nvram.persist(200, b"durable")
+    assert cache.load(200, 7) == b"durable"
+
+
+def test_store_spanning_lines(cache):
+    data = bytes(range(100))
+    cache.store(10, data)
+    assert cache.load(10, 100) == data
+    assert cache.dirty_line_count() == len(cache.lines_covering(10, 100))
+
+
+def test_line_base(cache):
+    assert cache.line_base(0) == 0
+    assert cache.line_base(31) == 0
+    assert cache.line_base(32) == 32
+    assert cache.line_base(95) == 64
+
+
+def test_lines_covering(cache):
+    assert cache.lines_covering(0, 32) == [0]
+    assert cache.lines_covering(0, 33) == [0, 32]
+    assert cache.lines_covering(30, 4) == [0, 32]
+    assert cache.lines_covering(64, 0) == []
+
+
+def test_clean_line_returns_contents_once(cache):
+    cache.store(0, b"abc")
+    base = cache.line_base(0)
+    snapshot = cache.clean_line(base)
+    assert snapshot[:3] == b"abc"
+    assert cache.clean_line(base) is None  # now clean
+
+
+def test_store_after_clean_redirties(cache):
+    cache.store(0, b"abc")
+    cache.clean_line(0)
+    cache.store(0, b"xyz")
+    assert cache.is_dirty(0)
+
+
+def test_partial_line_store_fills_from_device(cache, nvram):
+    nvram.persist(0, b"AAAAAAAA")
+    cache.store(4, b"BB")
+    assert cache.load(0, 8) == b"AAAABBAA"
+
+
+def test_dirty_lines_snapshot(cache):
+    cache.store(0, b"a")
+    cache.store(64, b"b")
+    dirty = cache.dirty_lines()
+    assert set(dirty) == {0, 64}
+    assert dirty[0][0:1] == b"a"
+
+
+def test_drop_all_discards_everything(cache, nvram):
+    cache.store(0, b"gone")
+    cache.drop_all()
+    assert cache.load(0, 4) == b"\x00" * 4
+    assert cache.dirty_line_count() == 0
+
+
+def test_evict_oldest_dirty_order(cache):
+    cache.store(0, b"a")
+    cache.store(64, b"b")
+    cache.store(128, b"c")
+    base, _data = cache.evict_oldest_dirty()
+    assert base == 0
+    base, _data = cache.evict_oldest_dirty()
+    assert base == 64
+
+
+def test_rewrite_refreshes_age(cache):
+    cache.store(0, b"a")
+    cache.store(64, b"b")
+    cache.store(0, b"a2")  # line 0 becomes youngest again
+    base, _ = cache.evict_oldest_dirty()
+    assert base == 64
+
+
+def test_evict_on_empty_returns_none(cache):
+    assert cache.evict_oldest_dirty() is None
+
+
+def test_out_of_range_store_raises(cache):
+    with pytest.raises(AddressError):
+        cache.store((1 << 16) - 2, b"toolong")

@@ -1,0 +1,50 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.hw.clock import SimClock
+
+
+def test_starts_at_zero():
+    assert SimClock().now_ns == 0
+
+
+def test_advance_accumulates():
+    clock = SimClock()
+    clock.advance(100)
+    clock.advance(50.5)
+    assert clock.now_ns == 150.5
+
+
+def test_advance_rejects_negative():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+
+
+def test_advance_to_future():
+    clock = SimClock()
+    clock.advance(100)
+    clock.advance_to(500)
+    assert clock.now_ns == 500
+
+
+def test_advance_to_past_is_noop():
+    clock = SimClock()
+    clock.advance(100)
+    clock.advance_to(50)
+    assert clock.now_ns == 100
+
+
+def test_elapsed_since():
+    clock = SimClock()
+    clock.advance(100)
+    start = clock.now_ns
+    clock.advance(42)
+    assert clock.elapsed_since(start) == 42
+
+
+def test_repr_mentions_time():
+    clock = SimClock()
+    clock.advance(7)
+    assert "7" in repr(clock)

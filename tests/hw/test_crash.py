@@ -1,0 +1,133 @@
+"""Tests for power-failure semantics and crash injection."""
+
+import pytest
+
+from repro import System, tuna
+from repro.config import SystemConfig, tuna as tuna_profile
+from repro.errors import PowerFailure
+
+
+def scratch(system):
+    return system.heapo.heap_start + 8192
+
+
+def durable_system(land_probability):
+    import dataclasses
+
+    config = dataclasses.replace(
+        tuna_profile(), crash_land_probability=land_probability
+    )
+    return System(config, seed=123)
+
+
+class TestPowerLoss:
+    def test_durable_bytes_survive(self, ):
+        system = durable_system(0.0)
+        addr = scratch(system)
+        system.cpu.memcpy(addr, b"keepthis")
+        system.cpu.cache_line_flush(addr, addr + 8)
+        system.cpu.dmb()
+        system.cpu.persist_barrier()
+        system.crash.apply_power_loss()
+        assert system.nvram.read(addr, 8) == b"keepthis"
+
+    def test_volatile_bytes_lost_with_zero_probability(self):
+        system = durable_system(0.0)
+        addr = scratch(system)
+        system.cpu.memcpy(addr, b"volatile")
+        system.crash.apply_power_loss()
+        assert system.nvram.read(addr, 8) == bytes(8)
+
+    def test_volatile_bytes_land_with_probability_one(self):
+        system = durable_system(1.0)
+        addr = scratch(system)
+        system.cpu.memcpy(addr, b"landsall")
+        system.crash.apply_power_loss()
+        assert system.nvram.read(addr, 8) == b"landsall"
+
+    def test_flushed_unbarriered_bytes_also_gamble(self):
+        system = durable_system(0.0)
+        addr = scratch(system)
+        system.cpu.memcpy(addr, b"inflight")
+        system.cpu.cache_line_flush(addr, addr + 8)
+        system.cpu.dmb()  # reached tier 2, no persist barrier
+        system.crash.apply_power_loss()
+        assert system.nvram.read(addr, 8) == bytes(8)
+
+    def test_partial_landing_is_8_byte_atomic(self):
+        """With p=0.5 a 64-byte line lands as a mix of 8-byte units —
+        never torn inside one unit."""
+        system = durable_system(0.5)
+        addr = scratch(system)
+        pattern = bytes(range(1, 65))
+        system.cpu.memcpy(addr, pattern)
+        system.crash.apply_power_loss()
+        after = system.nvram.read(addr, 64)
+        for unit in range(0, 64, 8):
+            chunk = after[unit : unit + 8]
+            assert chunk in (pattern[unit : unit + 8], bytes(8))
+
+    def test_power_loss_clears_volatile_state(self):
+        system = durable_system(0.5)
+        addr = scratch(system)
+        system.cpu.memcpy(addr, b"x" * 64)
+        system.crash.apply_power_loss()
+        assert system.cache.dirty_line_count() == 0
+        assert not system.cpu.pending
+
+    def test_deterministic_per_seed(self):
+        images = []
+        for _ in range(2):
+            system = System(tuna(), seed=77)
+            addr = scratch(system)
+            system.cpu.memcpy(addr, bytes(range(200)) + bytes(56))
+            system.crash.apply_power_loss()
+            images.append(system.nvram.read(addr, 256))
+        assert images[0] == images[1]
+
+
+class TestInjection:
+    def test_arm_fires_after_n_ops(self):
+        system = System(tuna(), seed=0)
+        addr = scratch(system)
+        system.crash.arm(after_ops=3, op_filter=lambda op: op == "memcpy")
+        system.cpu.memcpy(addr, b"1")
+        system.cpu.memcpy(addr, b"2")
+        with pytest.raises(PowerFailure):
+            system.cpu.memcpy(addr, b"3")
+
+    def test_filter_ignores_other_ops(self):
+        system = System(tuna(), seed=0)
+        addr = scratch(system)
+        system.crash.arm(after_ops=1, op_filter=lambda op: op == "persist_barrier")
+        system.cpu.memcpy(addr, b"x")
+        system.cpu.dmb()
+        with pytest.raises(PowerFailure):
+            system.cpu.persist_barrier()
+
+    def test_disarm_cancels(self):
+        system = System(tuna(), seed=0)
+        addr = scratch(system)
+        system.crash.arm(after_ops=1)
+        system.crash.disarm()
+        system.cpu.memcpy(addr, b"safe")  # does not raise
+
+    def test_count_ops_counts_without_crashing(self):
+        system = System(tuna(), seed=0)
+        addr = scratch(system)
+
+        def work():
+            system.cpu.memcpy(addr, b"a")
+            system.cpu.dmb()
+            system.cpu.memcpy(addr, b"b")
+
+        n = system.crash.count_ops(work, op_filter=lambda op: op == "memcpy")
+        assert n == 2
+
+    def test_reboot_after_power_fail_restores_services(self):
+        system = System(tuna(), seed=0)
+        system.power_fail()
+        system.reboot()
+        # filesystem mounted again and heap attached
+        assert system.fs.list_names() == []
+        assert system.heapo.live_allocations() == []

@@ -1,0 +1,44 @@
+"""Tests for the NVRAM device model."""
+
+import pytest
+
+from repro.config import NvramConfig
+from repro.errors import AddressError
+from repro.hw.memory import NvramDevice
+
+
+def test_starts_zeroed():
+    device = NvramDevice(NvramConfig(size=1024))
+    assert device.read(0, 1024) == bytes(1024)
+
+
+def test_persist_and_read():
+    device = NvramDevice(NvramConfig(size=1024))
+    device.persist(10, b"hello")
+    assert device.read(10, 5) == b"hello"
+    assert device.read(9, 1) == b"\x00"
+
+
+def test_persist_out_of_range():
+    device = NvramDevice(NvramConfig(size=64))
+    with pytest.raises(AddressError):
+        device.persist(60, b"too long")
+
+
+def test_read_out_of_range():
+    device = NvramDevice(NvramConfig(size=64))
+    with pytest.raises(AddressError):
+        device.read(-1, 4)
+    with pytest.raises(AddressError):
+        device.read(0, 65)
+
+
+def test_durable_image_is_a_copy():
+    device = NvramDevice(NvramConfig(size=16))
+    image = device.durable_image()
+    device.persist(0, b"x")
+    assert image == bytes(16)
+
+
+def test_size_property():
+    assert NvramDevice(NvramConfig(size=4096)).size == 4096

@@ -1,0 +1,60 @@
+"""Tests for counters and time-bucket accounting."""
+
+from repro.hw.stats import Stats, TimeBucket
+
+
+def test_count_defaults_to_zero():
+    assert Stats().get_count("anything") == 0
+
+
+def test_count_increments():
+    stats = Stats()
+    stats.count("flushes")
+    stats.count("flushes", 3)
+    assert stats.get_count("flushes") == 4
+
+
+def test_time_buckets_accumulate():
+    stats = Stats()
+    stats.add_time(TimeBucket.MEMCPY, 10)
+    stats.add_time(TimeBucket.MEMCPY, 5)
+    stats.add_time(TimeBucket.DMB, 2)
+    assert stats.get_time(TimeBucket.MEMCPY) == 15
+    assert stats.get_time(TimeBucket.DMB) == 2
+    assert stats.total_time() == 17
+
+
+def test_snapshot_is_independent():
+    stats = Stats()
+    stats.count("x")
+    snap = stats.snapshot()
+    stats.count("x")
+    assert snap.get_count("x") == 1
+    assert stats.get_count("x") == 2
+
+
+def test_delta_since():
+    stats = Stats()
+    stats.count("ops", 5)
+    stats.add_time(TimeBucket.CPU, 100)
+    before = stats.snapshot()
+    stats.count("ops", 2)
+    stats.add_time(TimeBucket.CPU, 30)
+    delta = stats.delta_since(before)
+    assert delta.get_count("ops") == 2
+    assert delta.get_time(TimeBucket.CPU) == 30
+
+
+def test_reset_clears_everything():
+    stats = Stats()
+    stats.count("x")
+    stats.add_time(TimeBucket.CPU, 1)
+    stats.reset()
+    assert stats.get_count("x") == 0
+    assert stats.total_time() == 0
+
+
+def test_repr_shows_nonzero_entries():
+    stats = Stats()
+    stats.count("flushes", 2)
+    assert "flushes" in repr(stats)

@@ -1,0 +1,72 @@
+"""Cross-backend lifecycle tests: reopen, migration, mixed usage."""
+
+import pytest
+
+from repro import System, tuna
+from repro.wal.nvwal import NvwalScheme
+from tests.conftest import make_file_db, make_nvwal_db
+
+
+class TestReopen:
+    def test_reopen_after_checkpoint_with_different_scheme(self):
+        """A checkpointed database is plain pages in a file: any scheme can
+        open it afterwards."""
+        system = System(tuna(), seed=0)
+        db = make_nvwal_db(system, NvwalScheme.ls())
+        db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v TEXT)")
+        db.execute("INSERT INTO t VALUES (1, 'written-by-ls')")
+        db.checkpoint()
+        db2 = make_nvwal_db(system, NvwalScheme.uh_cs_diff())
+        assert db2.query("SELECT v FROM t WHERE k = 1") == [("written-by-ls",)]
+
+    def test_migrate_file_wal_to_nvwal(self):
+        """The paper's deployment story: take a flash-WAL database,
+        checkpoint it, switch logging to NVRAM."""
+        system = System(tuna(), seed=0)
+        db = make_file_db(system, optimized=False, name="app.db")
+        db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v TEXT)")
+        for i in range(10):
+            db.execute("INSERT INTO t VALUES (?, ?)", (i, f"flash{i}"))
+        db.checkpoint()
+        nv = make_nvwal_db(system, name="app.db")
+        assert nv.row_count("t") == 10
+        nv.execute("INSERT INTO t VALUES (100, 'nvram')")
+        system.power_fail()
+        system.reboot()
+        nv2 = make_nvwal_db(system, name="app.db")
+        assert nv2.row_count("t") == 11
+
+    def test_two_databases_on_one_system(self):
+        system = System(tuna(), seed=0)
+        db_a = make_nvwal_db(system, name="a.db")
+        db_b = make_file_db(system, optimized=False, name="b.db")
+        db_a.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v TEXT)")
+        db_b.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v TEXT)")
+        db_a.execute("INSERT INTO t VALUES (1, 'nvram-side')")
+        db_b.execute("INSERT INTO t VALUES (1, 'flash-side')")
+        assert db_a.query("SELECT v FROM t") == [("nvram-side",)]
+        assert db_b.query("SELECT v FROM t") == [("flash-side",)]
+
+    def test_large_values_roundtrip(self):
+        system = System(tuna(), seed=0)
+        db = make_nvwal_db(system)
+        db.execute("CREATE TABLE blobs (k INTEGER PRIMARY KEY, data BLOB)")
+        payload = bytes(range(256)) * 3  # under the quarter-page cell limit
+        db.execute("INSERT INTO blobs VALUES (1, ?)", (payload,))
+        system.power_fail()
+        system.reboot()
+        db2 = make_nvwal_db(system)
+        assert db2.query("SELECT data FROM blobs WHERE k = 1") == [(payload,)]
+
+    def test_thousand_transaction_run_with_checkpoints(self):
+        """The Mobibench shape: 1000 single-insert transactions at the
+        SQLite default checkpoint threshold, then full verification."""
+        system = System(tuna(), seed=0)
+        db = make_nvwal_db(system, checkpoint_threshold=200)
+        db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v TEXT)")
+        for i in range(1000):
+            db.execute("INSERT INTO t VALUES (?, ?)", (i, "x" * 100))
+        system.power_fail()
+        system.reboot()
+        db2 = make_nvwal_db(system)
+        assert db2.row_count("t") == 1000

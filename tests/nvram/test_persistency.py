@@ -1,0 +1,99 @@
+"""Tests for the strict/epoch persistency models (Section 4.4)."""
+
+import pytest
+
+from repro import System, tuna
+from repro.nvram.persistency import PersistDomain, PersistencyModel
+
+
+@pytest.fixture
+def system():
+    return System(tuna(), seed=0)
+
+
+def scratch(system):
+    return system.heapo.heap_start + 16384
+
+
+class TestStrict:
+    def test_stores_are_immediately_durable(self, system):
+        domain = PersistDomain(system.cpu, PersistencyModel.STRICT)
+        addr = scratch(system)
+        system.cpu.memcpy(addr, b"strictpersist!!!")
+        domain.after_store(addr, 16)
+        assert system.nvram.read(addr, 16) == b"strictpersist!!!"
+
+    def test_no_flush_instructions_needed(self, system):
+        domain = PersistDomain(system.cpu, PersistencyModel.STRICT)
+        addr = scratch(system)
+        system.cpu.memcpy(addr, b"x" * 64)
+        domain.after_store(addr, 64)
+        domain.persist_range(addr, 64)  # no-op under strict
+        domain.commit_barrier()  # no-op under strict
+        assert system.stats.get_count("cache_line_flush_syscalls") == 0
+
+    def test_persists_serialize_on_latency(self, system):
+        domain = PersistDomain(system.cpu, PersistencyModel.STRICT)
+        addr = scratch(system)
+        line = system.config.cache.line_size
+        n = 8
+        system.cpu.memcpy(addr, b"y" * (line * n))
+        before = system.clock.now_ns
+        domain.after_store(addr, line * n)
+        elapsed = system.clock.now_ns - before
+        assert elapsed >= n * system.config.nvram.write_latency_ns
+
+
+class TestEpoch:
+    def test_durable_only_after_barrier(self, system):
+        domain = PersistDomain(system.cpu, PersistencyModel.EPOCH)
+        addr = scratch(system)
+        system.cpu.memcpy(addr, b"epochdata")
+        domain.after_store(addr, 9)
+        assert system.nvram.read(addr, 9) == bytes(9)
+        domain.commit_barrier()
+        assert system.nvram.read(addr, 9) == b"epochdata"
+
+    def test_epoch_cheaper_than_strict(self, system):
+        line = system.config.cache.line_size
+        n = 16
+
+        strict = System(tuna(), seed=0)
+        domain = PersistDomain(strict.cpu, PersistencyModel.STRICT)
+        addr = scratch(strict)
+        strict.cpu.memcpy(addr, b"z" * (line * n))
+        t0 = strict.clock.now_ns
+        domain.after_store(addr, line * n)
+        strict_cost = strict.clock.now_ns - t0
+
+        epoch = System(tuna(), seed=0)
+        domain = PersistDomain(epoch.cpu, PersistencyModel.EPOCH)
+        addr = scratch(epoch)
+        epoch.cpu.memcpy(addr, b"z" * (line * n))
+        t0 = epoch.clock.now_ns
+        domain.commit_barrier()
+        epoch_cost = epoch.clock.now_ns - t0
+
+        assert epoch_cost < strict_cost
+
+    def test_counts_epoch_barriers(self, system):
+        domain = PersistDomain(system.cpu, PersistencyModel.EPOCH)
+        addr = scratch(system)
+        system.cpu.memcpy(addr, b"q")
+        domain.commit_barrier()
+        assert system.stats.get_count("epoch_barriers") == 1
+
+
+class TestExplicit:
+    def test_persist_range_issues_flush_syscall(self, system):
+        domain = PersistDomain(system.cpu, PersistencyModel.EXPLICIT)
+        addr = scratch(system)
+        system.cpu.memcpy(addr, b"explicit")
+        domain.persist_range(addr, 8)
+        assert system.stats.get_count("cache_line_flush_syscalls") == 1
+
+    def test_commit_barrier_is_dmb_plus_persist(self, system):
+        domain = PersistDomain(system.cpu, PersistencyModel.EXPLICIT)
+        domain.commit_barrier()
+        assert system.stats.get_count("dmb_instructions") == 1
+        assert system.stats.get_count("persist_barriers") == 1

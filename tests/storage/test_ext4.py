@@ -1,0 +1,230 @@
+"""Tests for the simplified EXT4 filesystem and its ordered-mode journal."""
+
+import pytest
+
+from repro.config import BlockDevConfig
+from repro.errors import FileExists, NoSuchFile, StorageError
+from repro.hw.clock import SimClock
+from repro.hw.stats import Stats
+from repro.hw import stats as statnames
+from repro.storage.blockdev import BlockDevice
+from repro.storage.ext4 import Ext4FileSystem
+from repro.storage.trace import BlockTrace
+
+
+def make_fs(seed=1, num_pages=2048):
+    device = BlockDevice(
+        BlockDevConfig(num_pages=num_pages), SimClock(), Stats(),
+        BlockTrace(), seed=seed,
+    )
+    fs = Ext4FileSystem(device)
+    fs.format()
+    return fs
+
+
+@pytest.fixture
+def fs():
+    return make_fs()
+
+
+class TestFiles:
+    def test_create_open_roundtrip(self, fs):
+        f = fs.create("a.txt")
+        f.write(0, b"hello world")
+        g = fs.open("a.txt")
+        assert g.read(0, 11) == b"hello world"
+        assert g.size == 11
+
+    def test_create_duplicate_fails(self, fs):
+        fs.create("a")
+        with pytest.raises(FileExists):
+            fs.create("a")
+
+    def test_open_missing_fails(self, fs):
+        with pytest.raises(NoSuchFile):
+            fs.open("nope")
+
+    def test_long_name_rejected(self, fs):
+        with pytest.raises(StorageError):
+            fs.create("x" * 60)
+
+    def test_unlink_removes_file(self, fs):
+        fs.create("a")
+        fs.unlink("a")
+        assert not fs.exists("a")
+        fs.create("a")  # name reusable
+
+    def test_list_names_sorted(self, fs):
+        fs.create("b")
+        fs.create("a")
+        assert fs.list_names() == ["a", "b"]
+
+    def test_sparse_writes_cross_pages(self, fs):
+        f = fs.create("big")
+        f.write(4090, b"span-two-pages")
+        assert f.read(4090, 14) == b"span-two-pages"
+        assert f.size == 4104
+
+    def test_read_past_eof_truncates(self, fs):
+        f = fs.create("short")
+        f.write(0, b"abc")
+        assert f.read(0, 100) == b"abc"
+        assert f.read(10, 5) == b""
+
+    def test_overwrite(self, fs):
+        f = fs.create("ow")
+        f.write(0, b"AAAA")
+        f.write(1, b"BB")
+        assert f.read(0, 4) == b"ABBA"
+
+    def test_truncate_shrinks(self, fs):
+        f = fs.create("t")
+        f.write(0, b"x" * 10000)
+        pages_before = f.allocated_pages()
+        f.truncate(100)
+        assert f.size == 100
+        assert f.allocated_pages() < pages_before
+
+    def test_preallocate_extends(self, fs):
+        f = fs.create("p")
+        f.preallocate(8)
+        assert f.allocated_pages() == 8
+        assert f.size == 8 * 4096
+
+
+class TestDurability:
+    def test_unsynced_data_lost_on_crash(self):
+        fs = make_fs()
+        f = fs.create("f")
+        f.write(0, b"unsynced")
+        fs.power_fail(land_probability=0.0)
+        fs.mount()
+        # the file may not even exist (its create was never journaled)
+        if fs.exists("f"):
+            assert fs.open("f").read(0, 8) != b"unsynced"
+
+    def test_fsynced_data_survives_crash(self):
+        fs = make_fs()
+        f = fs.create("f")
+        f.write(0, b"durable!")
+        f.fsync()
+        fs.power_fail(land_probability=0.0)
+        fs.mount()
+        g = fs.open("f")
+        assert g.read(0, 8) == b"durable!"
+        assert g.size == 8
+
+    def test_many_files_survive_crash(self):
+        fs = make_fs()
+        for i in range(10):
+            f = fs.create(f"file{i}")
+            f.write(0, f"content{i}".encode())
+            f.fsync()
+        fs.power_fail(land_probability=0.0)
+        fs.mount()
+        for i in range(10):
+            assert fs.open(f"file{i}").read(0, 8) == f"content{i}".encode()[:8]
+
+    def test_repeated_crash_cycles(self):
+        fs = make_fs(seed=9)
+        for cycle in range(5):
+            f = fs.create(f"c{cycle}")
+            f.write(0, b"x" * 100)
+            f.fsync()
+            fs.power_fail(land_probability=0.5)
+            fs.mount()
+            for j in range(cycle + 1):
+                assert fs.exists(f"c{j}"), f"lost c{j} after cycle {cycle}"
+
+    def test_unlink_survives_fsync_of_sibling(self):
+        fs = make_fs()
+        fs.create("gone").fsync()
+        keeper = fs.create("keeper")
+        fs.unlink("gone")
+        keeper.fsync()
+        fs.power_fail(land_probability=0.0)
+        fs.mount()
+        assert not fs.exists("gone")
+        assert fs.exists("keeper")
+
+    def test_unmount_then_mount_is_clean(self):
+        fs = make_fs()
+        f = fs.create("u")
+        f.write(0, b"data")
+        fs.unmount()
+        fs.mount()
+        assert fs.open("u").read(0, 4) == b"data"
+
+    def test_operations_require_mount(self):
+        fs = make_fs()
+        fs.power_fail()
+        with pytest.raises(StorageError):
+            fs.create("x")
+
+
+class TestJournalTraffic:
+    def test_append_fsync_journals_metadata(self):
+        """An appending fsync journals descriptor + inode + bitmap + group
+        descriptor + commit — the paper's ~16-20 KB per transaction."""
+        fs = make_fs()
+        f = fs.create("wal")
+        f.fsync()  # settle creation metadata
+        fs.device.trace.clear()
+        f.write(f.size, b"z" * 4096)
+        f.fsync()
+        journal = sum(
+            e.length for e in fs.device.trace.writes("journal")
+        )
+        assert journal >= 16 * 1024
+
+    def test_overwrite_fdatasync_skips_journal(self):
+        fs = make_fs()
+        f = fs.create("wal")
+        f.preallocate(4)
+        f.fsync()
+        fs.device.trace.clear()
+        f.write(0, b"z" * 4096)  # overwrite, no allocation change
+        f.fdatasync()
+        assert fs.device.trace.writes("journal") == []
+
+    def test_overwrite_fsync_still_journals_inode(self):
+        """fsync (not fdatasync) journals the inode for its mtime."""
+        fs = make_fs()
+        f = fs.create("wal")
+        f.preallocate(4)
+        f.fsync()
+        fs.device.trace.clear()
+        f.write(0, b"z" * 4096)
+        f.fsync()
+        journal = fs.device.trace.writes("journal")
+        assert journal  # descriptor + inode + commit
+        assert len(journal) == 3
+
+    def test_journal_wraps_via_checkpoint(self):
+        """Filling the journal ring forces a checkpoint, after which all
+        state is still correct across a crash."""
+        fs = make_fs(num_pages=4096)
+        f = fs.create("churn")
+        for i in range(400):
+            f.write(i * 4096, b"y" * 4096)
+            f.fsync()
+        fs.power_fail(land_probability=0.5)
+        fs.mount()
+        g = fs.open("churn")
+        assert g.size == 400 * 4096
+
+    def test_ordered_mode_data_before_journal(self):
+        """Data writes must hit the device before the journal commit."""
+        fs = make_fs()
+        f = fs.create("ord")
+        fs.device.trace.clear()
+        f.write(0, b"d" * 4096)
+        f.fsync()
+        events = [e for e in fs.device.trace.events if e.op == "write"]
+        first_journal = next(
+            i for i, e in enumerate(events) if e.tag == "journal"
+        )
+        data_writes = [
+            i for i, e in enumerate(events) if e.tag.startswith("file:")
+        ]
+        assert data_writes and max(data_writes) < first_journal

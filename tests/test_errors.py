@@ -1,0 +1,45 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_repro_error():
+    leaf_exceptions = [
+        errors.AddressError,
+        errors.AlignmentError,
+        errors.PowerFailure,
+        errors.OutOfNvram,
+        errors.BadHandle,
+        errors.HeapStateError,
+        errors.NoSuchFile,
+        errors.FileExists,
+        errors.OutOfSpace,
+        errors.FsConsistencyError,
+        errors.SqlError,
+        errors.TableError,
+        errors.TransactionError,
+        errors.KeyNotFound,
+        errors.DuplicateKey,
+        errors.PageError,
+        errors.RecoveryError,
+        errors.ChecksumError,
+    ]
+    for exc in leaf_exceptions:
+        assert issubclass(exc, errors.ReproError)
+
+
+def test_family_groupings():
+    assert issubclass(errors.AddressError, errors.HardwareError)
+    assert issubclass(errors.OutOfNvram, errors.HeapError)
+    assert issubclass(errors.NoSuchFile, errors.StorageError)
+    assert issubclass(errors.SqlError, errors.DatabaseError)
+    assert issubclass(errors.ChecksumError, errors.WalError)
+
+
+def test_catchable_as_family():
+    with pytest.raises(errors.DatabaseError):
+        raise errors.DuplicateKey("k")
+    with pytest.raises(errors.ReproError):
+        raise errors.PowerFailure("out")

@@ -1,0 +1,116 @@
+"""Tests for byte-granularity differential encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wal.diff import DiffMode, apply_extents, compute_extents
+
+
+def mutate(base: bytes, edits: list[tuple[int, bytes]]) -> bytes:
+    out = bytearray(base)
+    for offset, data in edits:
+        out[offset : offset + len(data)] = data
+    return bytes(out)
+
+
+class TestComputeExtents:
+    def test_identical_pages_empty(self):
+        page = bytes(4096)
+        for mode in DiffMode:
+            assert compute_extents(page, page, mode) == []
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compute_extents(bytes(10), bytes(20))
+
+    def test_full_page_mode(self):
+        old = bytes(4096)
+        new = mutate(old, [(100, b"x")])
+        extents = compute_extents(old, new, DiffMode.FULL_PAGE)
+        assert extents == [(0, new)]
+
+    def test_single_range_spans_all_changes(self):
+        old = bytes(4096)
+        new = mutate(old, [(10, b"a"), (4000, b"b")])
+        extents = compute_extents(old, new, DiffMode.SINGLE_RANGE)
+        assert len(extents) == 1
+        offset, data = extents[0]
+        assert offset == 10
+        assert len(data) == 4001 - 10
+
+    def test_multi_range_separates_clusters(self):
+        old = bytes(4096)
+        new = mutate(old, [(10, b"aaa"), (4000, b"bbb")])
+        extents = compute_extents(old, new, DiffMode.MULTI_RANGE)
+        assert len(extents) == 2
+        assert extents[0][0] == 10
+        assert extents[1][0] == 4000
+
+    def test_multi_range_merges_close_changes(self):
+        old = bytes(4096)
+        new = mutate(old, [(100, b"a"), (130, b"b")])  # 30-byte gap < 64
+        extents = compute_extents(old, new, DiffMode.MULTI_RANGE)
+        assert len(extents) == 1
+
+    def test_change_at_page_boundaries(self):
+        old = bytes(256)
+        new = mutate(old, [(0, b"S"), (255, b"E")])
+        extents = compute_extents(old, new, DiffMode.MULTI_RANGE)
+        assert extents[0][0] == 0
+        last_offset, last_data = extents[-1]
+        assert last_offset + len(last_data) == 256
+
+    def test_exact_boundaries(self):
+        old = b"AAAA" + bytes(200) + b"BBBB"
+        new = b"AAXA" + bytes(200) + b"BYBB"
+        extents = compute_extents(old, new, DiffMode.MULTI_RANGE)
+        assert extents[0] == (2, b"X")
+        assert extents[1] == (205, b"Y")
+
+    def test_diff_is_much_smaller_for_small_change(self):
+        old = bytes(range(256)) * 16
+        new = mutate(old, [(1000, b"small change")])
+        extents = compute_extents(old, new, DiffMode.MULTI_RANGE)
+        assert sum(len(d) for _o, d in extents) < 100
+
+
+class TestApplyExtents:
+    def test_apply_restores_new_image(self):
+        old = bytes(4096)
+        new = mutate(old, [(10, b"hello"), (2000, b"world")])
+        for mode in DiffMode:
+            extents = compute_extents(old, new, mode)
+            assert apply_extents(old, extents) == new
+
+    def test_out_of_bounds_extent_rejected(self):
+        with pytest.raises(ValueError):
+            apply_extents(bytes(10), [(8, b"xxx")])
+        with pytest.raises(ValueError):
+            apply_extents(bytes(10), [(-1, b"x")])
+
+    def test_extents_apply_in_order(self):
+        base = bytes(10)
+        result = apply_extents(base, [(0, b"AAAA"), (2, b"BB")])
+        assert result == b"AABB\x00\x00\x00\x00\x00\x00"
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    base=st.binary(min_size=64, max_size=512),
+    edits=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=500), st.binary(max_size=40)),
+        max_size=8,
+    ),
+    mode=st.sampled_from(list(DiffMode)),
+)
+def test_diff_roundtrip_property(base, edits, mode):
+    """compute_extents/apply_extents invert each other for any mutation."""
+    edits = [(o, d) for o, d in edits if o + len(d) <= len(base)]
+    new = mutate(base, edits)
+    extents = compute_extents(base, new, mode)
+    assert apply_extents(base, extents) == new
+    # extents never exceed the full page in total size (plus none overlap)
+    spans = sorted((o, o + len(d)) for o, d in extents)
+    for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+        assert e1 <= s2

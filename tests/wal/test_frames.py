@@ -1,0 +1,126 @@
+"""Tests for WAL frame encoding and checksums."""
+
+import struct
+
+import pytest
+
+from repro.errors import ChecksumError
+from repro.wal.frames import (
+    EXTENT_LIST,
+    NV_FRAME_MAGIC,
+    NV_HEADER_SIZE,
+    NvFrame,
+    commit_mark_bytes,
+    decode_file_frame,
+    decode_nv_frame_header,
+    encode_file_frame,
+    encode_nv_frame,
+    payload_checksum,
+    validate_nv_frame,
+)
+
+
+class TestNvFrames:
+    def test_header_is_32_bytes(self):
+        assert NV_HEADER_SIZE == 32
+
+    def test_encode_decode_roundtrip(self):
+        frame = NvFrame(7, 100, b"payload!", 3, commit=False)
+        encoded = encode_nv_frame(frame)
+        magic, pno, off, size, cks, ckpt, commit = decode_nv_frame_header(encoded)
+        assert magic == NV_FRAME_MAGIC
+        assert (pno, off, size, ckpt, commit) == (7, 100, 8, 3, 0)
+        assert cks == payload_checksum(b"payload!", 7, 100)
+
+    def test_payload_padded_to_8(self):
+        frame = NvFrame(1, 0, b"abc", 1, commit=False)
+        encoded = encode_nv_frame(frame)
+        assert len(encoded) == NV_HEADER_SIZE + 8
+        assert frame.stored_size() == NV_HEADER_SIZE + 8
+
+    def test_commit_mark_is_8_bytes_aligned(self):
+        offset, mark = commit_mark_bytes(checkpoint_id=5)
+        assert len(mark) == 8
+        assert offset % 8 == 0
+        assert offset + 8 <= NV_HEADER_SIZE
+
+    def test_commit_mark_sets_flag_preserves_rest(self):
+        frame = NvFrame(7, 100, b"payload!", 5, commit=False)
+        encoded = bytearray(encode_nv_frame(frame))
+        offset, mark = commit_mark_bytes(checkpoint_id=5)
+        encoded[offset : offset + 8] = mark
+        magic, pno, off, size, cks, ckpt, commit = decode_nv_frame_header(
+            bytes(encoded)
+        )
+        assert commit == 1
+        assert ckpt == 5
+        assert cks == payload_checksum(b"payload!", 7, 100)
+
+    def test_checksum_bound_to_page_and_offset(self):
+        assert payload_checksum(b"x", 1, 0) != payload_checksum(b"x", 2, 0)
+        assert payload_checksum(b"x", 1, 0) != payload_checksum(b"x", 1, 8)
+
+    def test_validate_detects_corruption(self):
+        good = payload_checksum(b"data", 1, 0)
+        validate_nv_frame(1, 0, b"data", good)
+        with pytest.raises(ChecksumError):
+            validate_nv_frame(1, 0, b"dama", good)
+
+    def test_reduced_checksum_bits(self):
+        full = payload_checksum(b"data", 1, 0, bits=64)
+        small = payload_checksum(b"data", 1, 0, bits=8)
+        assert small == full & 0xFF
+
+
+class TestExtentLists:
+    def test_single_extent_stays_plain(self):
+        frame = NvFrame.from_extents(3, [(100, b"only")], 1)
+        assert frame.offset == 100
+        assert frame.payload == b"only"
+
+    def test_multi_extent_packs(self):
+        frame = NvFrame.from_extents(3, [(10, b"aa"), (200, b"bbb")], 1)
+        assert frame.offset == EXTENT_LIST
+        assert frame.extent_list() == [(10, b"aa"), (200, b"bbb")]
+
+    def test_apply_to(self):
+        frame = NvFrame.from_extents(3, [(0, b"XY"), (6, b"Z")], 1)
+        assert frame.apply_to(bytes(8)) == b"XY\x00\x00\x00\x00Z\x00"
+
+    def test_apply_out_of_bounds_raises(self):
+        frame = NvFrame.from_extents(3, [(6, b"LONG")], 1)
+        with pytest.raises(ChecksumError):
+            frame.apply_to(bytes(8))
+
+    def test_extent_frame_roundtrips_through_encoding(self):
+        frame = NvFrame.from_extents(9, [(0, b"head"), (500, b"tail")], 2)
+        encoded = encode_nv_frame(frame)
+        magic, pno, off, size, cks, ckpt, commit = decode_nv_frame_header(encoded)
+        payload = encoded[NV_HEADER_SIZE : NV_HEADER_SIZE + size]
+        decoded = NvFrame(pno, off, payload, ckpt, bool(commit))
+        assert decoded.extent_list() == [(0, b"head"), (500, b"tail")]
+
+
+class TestFileFrames:
+    def test_roundtrip(self):
+        page = bytes(range(256)) * 16
+        raw = encode_file_frame(5, page, commit_db_size=3, salt=11)
+        decoded = decode_file_frame(raw, len(page), salt=11)
+        assert decoded == (5, 3, page)
+
+    def test_wrong_salt_rejected(self):
+        raw = encode_file_frame(5, bytes(64), 0, salt=11)
+        assert decode_file_frame(raw, 64, salt=12) is None
+
+    def test_torn_frame_rejected(self):
+        raw = encode_file_frame(5, bytes(64), 0, salt=11)
+        assert decode_file_frame(raw[:-10], 64, salt=11) is None
+
+    def test_corrupt_payload_rejected(self):
+        raw = bytearray(encode_file_frame(5, bytes(64), 0, salt=11))
+        raw[40] ^= 0xFF
+        assert decode_file_frame(bytes(raw), 64, salt=11) is None
+
+    def test_zero_page_number_rejected(self):
+        raw = encode_file_frame(0, bytes(64), 0, salt=11)
+        assert decode_file_frame(raw, 64, salt=11) is None

@@ -1,0 +1,103 @@
+"""NVWAL stress: transactions spanning many NVRAM blocks."""
+
+import pytest
+
+from repro import System, tuna
+from repro.errors import PowerFailure
+from repro.wal.nvwal import NvwalScheme
+from tests.conftest import make_nvwal_db
+
+
+def big_txn_db(system, scheme, rows=200, payload=400):
+    db = make_nvwal_db(system, scheme)
+    db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v BLOB)")
+    with db.transaction():
+        for i in range(rows):
+            db.execute("INSERT INTO t VALUES (?, ?)", (i, bytes([i % 256]) * payload))
+    return db
+
+
+@pytest.mark.parametrize(
+    "scheme",
+    [NvwalScheme.uh_ls_diff(), NvwalScheme.ls(), NvwalScheme.uh_ls()],
+    ids=lambda s: s.name,
+)
+def test_one_transaction_spanning_many_blocks(scheme):
+    """A 200-row transaction dirties many pages -> the commit's frames
+    chain across several 8 KB blocks; recovery replays it atomically."""
+    system = System(tuna(), seed=5)
+    db = big_txn_db(system, scheme)
+    assert len(db.wal.userheap.blocks) >= 3
+    system.power_fail()
+    system.reboot()
+    db2 = make_nvwal_db(system, scheme)
+    assert db2.row_count("t") == 200
+    assert db2.query("SELECT v FROM t WHERE k = 199") == [(bytes([199]) * 400,)]
+
+
+def test_crash_mid_chain_discards_whole_transaction():
+    """Crash while chaining block N of a multi-block transaction: the
+    entire transaction disappears (no partial replay)."""
+    for crash_at in (1, 2, 3, 5, 8):
+        system = System(tuna(), seed=6)
+        db = make_nvwal_db(system, NvwalScheme.uh_ls_diff())
+        db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v BLOB)")
+        db.execute("INSERT INTO t VALUES (0, ?)", (b"base",))
+        system.crash.arm(
+            after_ops=crash_at, op_filter=lambda op: op == "persist_barrier"
+        )
+        try:
+            with db.transaction():
+                for i in range(1, 150):
+                    db.execute(
+                        "INSERT INTO t VALUES (?, ?)", (i, b"y" * 400)
+                    )
+            system.crash.disarm()
+            committed = True
+        except PowerFailure:
+            committed = False
+        system.power_fail()
+        system.reboot()
+        db2 = make_nvwal_db(system, NvwalScheme.uh_ls_diff())
+        rows = db2.row_count("t")
+        assert rows == (150 if committed else 1), f"crash_at={crash_at}"
+
+
+def test_giant_transaction_across_checkpoint_threshold():
+    """A single transaction larger than the checkpoint threshold commits
+    atomically; the checkpoint then runs and frees every block."""
+    system = System(tuna(), seed=7)
+    db = make_nvwal_db(system, checkpoint_threshold=20)
+    db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v BLOB)")
+    with db.transaction():
+        for i in range(120):
+            db.execute("INSERT INTO t VALUES (?, ?)", (i, b"z" * 400))
+    # auto-checkpoint fired at commit time
+    assert db.wal.frame_count() == 0
+    blocks = [a for a in system.heapo.live_allocations() if a.name == "nvwal-blk"]
+    assert blocks == []
+    system.power_fail()
+    system.reboot()
+    db2 = make_nvwal_db(system)
+    assert db2.row_count("t") == 120
+
+
+def test_interleaved_small_and_huge_transactions():
+    system = System(tuna(), seed=8)
+    db = make_nvwal_db(system, NvwalScheme.uh_ls_diff())
+    db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v BLOB)")
+    expected = {}
+    key = 0
+    for round_no in range(4):
+        db.execute("INSERT INTO t VALUES (?, ?)", (key, b"s"))
+        expected[key] = b"s"
+        key += 1
+        with db.transaction():
+            for _ in range(60):
+                db.execute("INSERT INTO t VALUES (?, ?)", (key, b"h" * 500))
+                expected[key] = b"h" * 500
+                key += 1
+    system.power_fail()
+    system.reboot()
+    db2 = make_nvwal_db(system)
+    assert dict(db2.dump_table("t")) == expected
