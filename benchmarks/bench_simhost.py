@@ -1,0 +1,269 @@
+"""Host-side performance of the simulator's hot primitives.
+
+Everything else in ``benchmarks/`` reports *simulated* numbers (throughput
+on the simulated clock); this module instead measures how fast the
+*simulator itself* runs on the host — the ops/sec of the primitives the
+fast-path work of the "Simulator fast path" PR optimizes.  The contract
+those optimizations must honor is: host wall-clock may change freely,
+simulated time may not.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_simhost.py`` — pytest-benchmark wrappers, for
+  interactive comparison;
+* ``python benchmarks/bench_simhost.py [--out BENCH_simulator.json]`` — the
+  perf-regression harness: runs every probe and emits a JSON report
+  (see ``BENCH_simulator.json`` at the repo root) so future PRs can track
+  the host-performance trajectory across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # allow running as a plain script from repo root
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.harness import BackendSpec, run_workload
+from repro.bench.mobibench import WorkloadSpec
+from repro.config import tuna
+from repro.system import System
+from repro.wal.diff import DiffMode, compute_extents
+from repro.wal.nvwal import NvwalScheme
+
+#: Target wall-clock per probe: long enough to be stable, short enough that
+#: the whole harness stays well under a minute.
+_MIN_SECONDS = 0.2
+
+PAGE = 4096
+
+
+def _rate(fn, *, min_seconds: float = _MIN_SECONDS) -> float:
+    """Calls/sec of ``fn``, measured over at least ``min_seconds``."""
+    fn()  # warm up (first 64 MB NVRAM allocation, caches, etc.)
+    calls = 0
+    elapsed = 0.0
+    start = time.perf_counter()
+    while elapsed < min_seconds:
+        fn()
+        calls += 1
+        elapsed = time.perf_counter() - start
+    return calls / elapsed
+
+
+def _fresh_system() -> tuple[System, int]:
+    system = System(tuna(), seed=0)
+    return system, system.heapo.heap_start + PAGE
+
+
+# ---------------------------------------------------------------------------
+# probes — each returns ops/sec of one hot primitive
+# ---------------------------------------------------------------------------
+
+
+def probe_store_page() -> float:
+    """Whole-page ``cache.store`` (the memcpy data path)."""
+    system, addr = _fresh_system()
+    payload = bytes(range(256)) * (PAGE // 256)
+    window = 256  # cycle addresses so dirty-line churn stays realistic
+    state = {"i": 0}
+
+    def step() -> None:
+        i = state["i"] = (state["i"] + 1) % window
+        system.cpu.store(addr + i * PAGE, payload)
+
+    return _rate(step)
+
+
+def probe_load_page() -> float:
+    """Whole-page ``cache.load`` over a part-cached, part-durable range."""
+    system, addr = _fresh_system()
+    payload = b"\xab" * PAGE
+    for i in range(0, 64, 2):  # cache every other page; rest stays durable
+        system.cpu.store(addr + i * PAGE, payload)
+
+    state = {"i": 0}
+
+    def step() -> None:
+        i = state["i"] = (state["i"] + 1) % 64
+        system.cpu.load_free(addr + i * PAGE, PAGE)
+
+    return _rate(step)
+
+
+def probe_flush_commit_cycle() -> float:
+    """The Algorithm 1 tail: memcpy + flush + dmb + persist barrier."""
+    system, addr = _fresh_system()
+    payload = b"\xcd" * PAGE
+
+    def step() -> None:
+        system.cpu.memcpy(addr, payload)
+        system.cpu.dmb()
+        system.cpu.cache_line_flush(addr, addr + PAGE)
+        system.cpu.dmb()
+        system.cpu.persist_barrier()
+
+    return _rate(step)
+
+
+def probe_heapo_churn() -> float:
+    """Kernel-heap allocate/free with a populated descriptor table."""
+    system, _ = _fresh_system()
+    heapo = system.heapo
+    survivors = [heapo.nvmalloc(PAGE, name="nvwal-blk") for _ in range(256)]
+
+    def step() -> None:
+        alloc = heapo.nv_pre_malloc(PAGE, name="nvwal-blk")
+        heapo.nv_malloc_set_used_flag(alloc)
+        heapo.nvfree(alloc)
+
+    rate = _rate(step)
+    del survivors
+    return rate
+
+
+def probe_heapo_lookup() -> float:
+    """Namespace/address lookups against many live allocations."""
+    system, _ = _fresh_system()
+    heapo = system.heapo
+    allocs = [heapo.nvmalloc(256, name="nvwal-blk") for _ in range(512)]
+    root = heapo.nvmalloc(64, name="nvwal-root")
+
+    def step() -> None:
+        heapo.lookup("nvwal-root")
+        heapo.is_live(root.addr)
+        heapo.state_of(allocs[13].addr)
+
+    return _rate(step)
+
+
+def probe_diff_extents() -> float:
+    """Differential logging's page diff on a realistically dirtied page."""
+    old = bytes(range(256)) * (PAGE // 256)
+    new = bytearray(old)
+    new[24:40] = b"\xff" * 16  # header fields
+    new[512:516] = b"\xee" * 4  # slot array entry
+    new[3000:3130] = b"\xdd" * 130  # cell content
+
+    def step() -> None:
+        compute_extents(old, bytes(new), DiffMode.MULTI_RANGE)
+
+    return _rate(step)
+
+
+def probe_insert_txns() -> float:
+    """End-to-end host txns/sec of the paper's default workload."""
+    spec = WorkloadSpec(op="insert", txns=50, ops_per_txn=1)
+
+    def step() -> None:
+        run_workload(tuna(500), BackendSpec.nvwal(NvwalScheme.uh_ls_diff()), spec)
+
+    return _rate(step, min_seconds=0.5) * spec.txns
+
+
+PROBES = {
+    "cache_store_page_per_sec": probe_store_page,
+    "cache_load_page_per_sec": probe_load_page,
+    "flush_commit_cycle_per_sec": probe_flush_commit_cycle,
+    "heapo_alloc_free_per_sec": probe_heapo_churn,
+    "heapo_lookup_per_sec": probe_heapo_lookup,
+    "diff_compute_extents_per_sec": probe_diff_extents,
+    "host_insert_txns_per_sec": probe_insert_txns,
+}
+
+
+def run_all() -> dict[str, float]:
+    """Run every probe; mapping of probe name -> host ops/sec."""
+    return {name: round(fn(), 1) for name, fn in PROBES.items()}
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark wrappers
+# ---------------------------------------------------------------------------
+
+
+def _bench(benchmark, name):
+    rate = benchmark.pedantic(PROBES[name], rounds=1, iterations=1)
+    benchmark.extra_info["host_ops_per_sec"] = round(rate, 1)
+    assert rate > 0
+
+
+def test_simhost_store(benchmark):
+    _bench(benchmark, "cache_store_page_per_sec")
+
+
+def test_simhost_load(benchmark):
+    _bench(benchmark, "cache_load_page_per_sec")
+
+
+def test_simhost_flush_cycle(benchmark):
+    _bench(benchmark, "flush_commit_cycle_per_sec")
+
+
+def test_simhost_heapo(benchmark):
+    _bench(benchmark, "heapo_alloc_free_per_sec")
+
+
+def test_simhost_diff(benchmark):
+    _bench(benchmark, "diff_compute_extents_per_sec")
+
+
+# ---------------------------------------------------------------------------
+# the JSON trajectory report
+# ---------------------------------------------------------------------------
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure host-side simulator performance and emit JSON."
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_simulator.json",
+        help="output path (default: BENCH_simulator.json in the CWD)",
+    )
+    args = parser.parse_args(argv)
+    out = Path(args.out)
+    if not out.parent.is_dir():
+        parser.error(f"output directory does not exist: {out.parent}")
+    results = run_all()
+    report = {
+        "schema": 1,
+        "git_rev": _git_rev(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "probes": results,
+        "note": (
+            "Host ops/sec of simulator hot primitives; higher is better. "
+            "Simulated time is unaffected by these optimizations — see "
+            "'Host performance vs. simulated time' in README.md."
+        ),
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    for name, rate in results.items():
+        print(f"{name:36s} {rate:>14,.1f}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,16 +5,19 @@ Usage::
     python -m repro.bench all            # every experiment, full size
     python -m repro.bench fig7 fig9      # a subset
     python -m repro.bench all --quick    # small runs for smoke testing
+    python -m repro.bench fig7 --jobs 8  # sweep points on 8 worker processes
     python -m repro.bench --list
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
 from repro.bench.experiments import EXPERIMENTS
+from repro.bench.harness import default_jobs
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -32,9 +35,18 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true", help="small runs for smoke testing"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for parallel sweeps (0 = one per CPU core "
+        "minus one); simulated results are identical at any job count",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
     args = parser.parse_args(argv)
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
 
     if args.list or not args.experiments:
         print("available experiments:")
@@ -53,7 +65,11 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     for name in names:
         start = time.time()
-        report = EXPERIMENTS[name](quick=args.quick)
+        runner = EXPERIMENTS[name]
+        kwargs = {"quick": args.quick}
+        if "jobs" in inspect.signature(runner).parameters:
+            kwargs["jobs"] = jobs
+        report = runner(**kwargs)
         print(report.render())
         print(f"   [{name} regenerated in {time.time() - start:.1f}s wall]")
         print()

@@ -16,7 +16,7 @@ three operations (insert, update, delete) × NVRAM write latencies from
 
 from __future__ import annotations
 
-from repro.bench.harness import BackendSpec, run_workload
+from repro.bench.harness import BackendSpec, RunTask, run_tasks
 from repro.bench.mobibench import WorkloadSpec
 from repro.bench.report import Report, Table
 from repro.config import tuna
@@ -26,10 +26,29 @@ LATENCIES_NS = (400, 700, 1000, 1300, 1600, 1900)
 OPS = ("insert", "update", "delete")
 
 
-def run(quick: bool = False, ops=OPS) -> Report:
-    """Regenerate Figure 7 (a: insert, b: update, c: delete)."""
+def run(quick: bool = False, ops=OPS, jobs: int = 1) -> Report:
+    """Regenerate Figure 7 (a: insert, b: update, c: delete).
+
+    The 6 schemes x 6 latencies x 3 operations grid is 108 independent
+    simulations; ``jobs > 1`` runs them on a process pool.
+    """
     txns = 60 if quick else 400
     schemes = NvwalScheme.all_figure7()
+    grid = [
+        (op, scheme, latency)
+        for op in ops
+        for scheme in schemes
+        for latency in LATENCIES_NS
+    ]
+    tasks = [
+        RunTask(
+            tuna(latency),
+            BackendSpec.nvwal(scheme),
+            WorkloadSpec(op=op, txns=txns, ops_per_txn=1),
+        )
+        for op, scheme, latency in grid
+    ]
+    results = dict(zip(grid, run_tasks(tasks, jobs=jobs)))
     tables = []
     for op in ops:
         headers = ["scheme \\ latency (ns)"] + [str(l) for l in LATENCIES_NS]
@@ -37,11 +56,7 @@ def run(quick: bool = False, ops=OPS) -> Report:
         for scheme in schemes:
             row: list[object] = [scheme.name]
             for latency in LATENCIES_NS:
-                spec = WorkloadSpec(op=op, txns=txns, ops_per_txn=1)
-                result = run_workload(
-                    tuna(latency), BackendSpec.nvwal(scheme), spec
-                )
-                row.append(round(result.throughput()))
+                row.append(round(results[(op, scheme, latency)].throughput()))
             rows.append(row)
         tables.append(
             Table(headers, rows, title=f"({op}) throughput, txn/sec")

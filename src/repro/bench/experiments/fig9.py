@@ -11,7 +11,7 @@ checkpoint overhead amortized across the batch).  Paper anchors:
 
 from __future__ import annotations
 
-from repro.bench.harness import BackendSpec, run_workload
+from repro.bench.harness import BackendSpec, RunTask, run_tasks
 from repro.bench.mobibench import WorkloadSpec
 from repro.bench.report import Report, Table
 from repro.config import nexus5
@@ -20,23 +20,32 @@ from repro.wal.nvwal import NvwalScheme
 LATENCIES_US = (2, 5, 10, 20, 47, 100, 230, 460)
 
 
-def run(quick: bool = False) -> Report:
-    """Regenerate Figure 9."""
+def run(quick: bool = False, jobs: int = 1) -> Report:
+    """Regenerate Figure 9.
+
+    Every cell (NVWAL scheme x latency, plus the two flash baselines) is an
+    independent simulation; ``jobs > 1`` fans them out on a process pool.
+    """
     txns = 100 if quick else 1000
     spec = WorkloadSpec(op="insert", txns=txns, ops_per_txn=1)
     headers = ["series \\ NVRAM latency (usec)"] + [str(l) for l in LATENCIES_US]
+    schemes = (NvwalScheme.uh_ls_diff(), NvwalScheme.ls())
+    tasks = [
+        RunTask(nexus5(latency_us * 1000), BackendSpec.nvwal(scheme), spec)
+        for scheme in schemes
+        for latency_us in LATENCIES_US
+    ]
+    flash_backends = [BackendSpec.file(optimized=True), BackendSpec.file(optimized=False)]
+    tasks += [RunTask(nexus5(), backend, spec) for backend in flash_backends]
+    results = run_tasks(tasks, jobs=jobs)
     rows = []
-    for scheme in (NvwalScheme.uh_ls_diff(), NvwalScheme.ls()):
-        row: list[object] = [scheme.name + " on NVRAM"]
-        for latency_us in LATENCIES_US:
-            result = run_workload(
-                nexus5(latency_us * 1000), BackendSpec.nvwal(scheme), spec
-            )
-            row.append(round(result.throughput(include_checkpoint=True)))
-        rows.append(row)
-    for optimized in (True, False):
-        backend = BackendSpec.file(optimized=optimized)
-        result = run_workload(nexus5(), backend, spec)
+    for i, scheme in enumerate(schemes):
+        series = results[i * len(LATENCIES_US) : (i + 1) * len(LATENCIES_US)]
+        rows.append(
+            [scheme.name + " on NVRAM"]
+            + [round(r.throughput(include_checkpoint=True)) for r in series]
+        )
+    for backend, result in zip(flash_backends, results[len(schemes) * len(LATENCIES_US) :]):
         tput = round(result.throughput(include_checkpoint=True))
         rows.append([backend.label] + [tput] * len(LATENCIES_US))
     crossings = _crossovers(rows, LATENCIES_US)

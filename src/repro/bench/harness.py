@@ -1,9 +1,20 @@
-"""Experiment plumbing: build systems/databases, run workloads, sweep knobs."""
+"""Experiment plumbing: build systems/databases, run workloads, sweep knobs.
+
+Every :func:`run_workload` is a self-contained, seeded simulation — it
+builds its own :class:`System` and never touches global state — so a sweep
+over latencies, schemes, or operations is embarrassingly parallel.
+:func:`run_tasks` exploits that with a ``ProcessPoolExecutor``: results come
+back in task order and are bit-identical to a sequential run (guarded by the
+cross-process determinism test), so ``jobs`` only changes wall-clock time,
+never output.
+"""
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable, Sequence
 
 from repro.bench.mobibench import Mobibench, RunResult, WorkloadSpec
 from repro.config import SystemConfig
@@ -93,18 +104,69 @@ def run_workload(
     return bench.run()
 
 
+@dataclass(frozen=True)
+class RunTask:
+    """One independent simulation: everything :func:`run_workload` needs.
+
+    Frozen and built from picklable parts (frozen dataclasses, enums,
+    ints), so tasks can cross a process boundary.  Note the ``setup``
+    callback of :func:`run_workload` is deliberately absent: closures do
+    not pickle, and no sweep uses it.
+    """
+
+    config: SystemConfig
+    backend: BackendSpec
+    spec: WorkloadSpec
+    seed: int = 0
+
+
+def _run_task(task: RunTask) -> RunResult:
+    """Module-level worker so ``ProcessPoolExecutor`` can pickle it."""
+    return run_workload(task.config, task.backend, task.spec, seed=task.seed)
+
+
+def default_jobs() -> int:
+    """Worker count when the caller asks for "parallel" without a number."""
+    return max(1, (os.cpu_count() or 1) - 1)
+
+
+def run_tasks(
+    tasks: Sequence[RunTask] | Iterable[RunTask], jobs: int = 1
+) -> list[RunResult]:
+    """Run every task, ``jobs`` at a time, results in task order.
+
+    ``jobs <= 1`` runs inline (no subprocess overhead, easier debugging);
+    anything higher fans out over a process pool.  Each worker process runs
+    fully independent simulations, so results are identical either way —
+    only host wall-clock time changes.
+    """
+    tasks = list(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_run_task(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        # Executor.map preserves input order regardless of completion order.
+        return list(pool.map(_run_task, tasks))
+
+
 def sweep_latency(
     base_config: SystemConfig,
     backend: BackendSpec,
     spec: WorkloadSpec,
     latencies_ns: list[int],
     include_checkpoint: bool = False,
+    jobs: int = 1,
 ) -> list[tuple[int, float]]:
-    """Throughput at each NVRAM write latency — the Figure 7/9 x-axis."""
-    points = []
-    for latency in latencies_ns:
-        result = run_workload(
-            base_config.with_nvram_write_latency(latency), backend, spec
-        )
-        points.append((latency, result.throughput(include_checkpoint)))
-    return points
+    """Throughput at each NVRAM write latency — the Figure 7/9 x-axis.
+
+    With ``jobs > 1`` the latency points run concurrently; the returned
+    points are in ``latencies_ns`` order either way.
+    """
+    tasks = [
+        RunTask(base_config.with_nvram_write_latency(latency), backend, spec)
+        for latency in latencies_ns
+    ]
+    results = run_tasks(tasks, jobs=jobs)
+    return [
+        (latency, result.throughput(include_checkpoint))
+        for latency, result in zip(latencies_ns, results)
+    ]

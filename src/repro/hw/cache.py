@@ -60,39 +60,75 @@ class CacheHierarchy:
         return line
 
     def store(self, addr: int, data: bytes) -> None:
-        """Write ``data`` at ``addr`` into the cache (volatile)."""
-        self.nvram.check_range(addr, len(data))
+        """Write ``data`` at ``addr`` into the cache (volatile).
+
+        The whole range is handled in one pass: lines fully covered by the
+        store are replaced outright (no device fill needed — their previous
+        contents are overwritten anyway), and only the partial head/tail
+        lines fall back to the fill-then-patch path.  Dirty-age order is the
+        same as the per-line loop's: every touched line becomes the
+        youngest, first line first.
+        """
+        length = len(data)
+        self.nvram.check_range(addr, length)
+        if length == 0:
+            return
+        line_size = self.line_size
+        lines = self._lines
+        dirty = self._dirty
+        view = memoryview(data)
         offset = 0
-        remaining = len(data)
-        while remaining > 0:
-            base = self.line_base(addr + offset)
-            line = self._fill(base)
-            in_line = (addr + offset) - base
-            chunk = min(remaining, self.line_size - in_line)
-            line[in_line : in_line + chunk] = data[offset : offset + chunk]
-            self._dirty.pop(base, None)
-            self._dirty[base] = None  # (re)insert as the youngest dirty line
+        base = addr - (addr % line_size)
+        in_line = addr - base
+        while offset < length:
+            chunk = line_size - in_line
+            if chunk > length - offset:
+                chunk = length - offset
+            if chunk == line_size:
+                # Full-line overwrite: skip the device fill entirely.
+                lines[base] = bytearray(view[offset : offset + line_size])
+            else:
+                line = lines.get(base)
+                if line is None:
+                    line = bytearray(self.nvram.read(base, line_size))
+                    lines[base] = line
+                line[in_line : in_line + chunk] = view[offset : offset + chunk]
+            dirty.pop(base, None)
+            dirty[base] = None  # (re)insert as the youngest dirty line
             offset += chunk
-            remaining -= chunk
+            base += line_size
+            in_line = 0
 
     def load(self, addr: int, length: int) -> bytes:
         """Read the *volatile view*: cache contents where present, durable
-        device contents otherwise."""
+        device contents otherwise.
+
+        Implemented as one bulk device read overlaid with whichever cached
+        lines intersect the range — equivalent to the per-line walk, but the
+        common cases (nothing cached, or a few cached lines over a large
+        range) cost one C-level slice plus a handful of patches.
+        """
         self.nvram.check_range(addr, length)
-        out = bytearray(length)
-        offset = 0
-        while offset < length:
-            base = self.line_base(addr + offset)
-            in_line = (addr + offset) - base
-            chunk = min(length - offset, self.line_size - in_line)
-            line = self._lines.get(base)
-            if line is None:
-                out[offset : offset + chunk] = self.nvram.read(
-                    addr + offset, chunk
-                )
+        if length <= 0:
+            return b""
+        out = bytearray(self.nvram.read(addr, length))
+        lines = self._lines
+        if lines:
+            line_size = self.line_size
+            first = addr - (addr % line_size)
+            end = addr + length
+            span = (end - 1) - ((end - 1) % line_size) + line_size - first
+            if span // line_size <= len(lines):
+                bases = range(first, first + span, line_size)
             else:
-                out[offset : offset + chunk] = line[in_line : in_line + chunk]
-            offset += chunk
+                bases = sorted(b for b in lines if first <= b < first + span)
+            for base in bases:
+                line = lines.get(base)
+                if line is None:
+                    continue
+                lo = base if base > addr else addr
+                hi = base + line_size if base + line_size < end else end
+                out[lo - addr : hi - addr] = line[lo - base : hi - base]
         return bytes(out)
 
     # -- flush support --------------------------------------------------------

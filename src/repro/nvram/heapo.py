@@ -24,6 +24,7 @@ Named allocations act as the persistent namespace: after a reboot,
 from __future__ import annotations
 
 import enum
+import heapq
 import struct
 from dataclasses import dataclass
 
@@ -73,6 +74,17 @@ class Heapo:
         self.heap_start = _align_up(self.metadata_size, 64)
         # Volatile mirror of the descriptor table, rebuilt by attach().
         self._slots: list[tuple[BlockState, int, int, str]] = []
+        # Volatile indexes over _slots, kept in sync by _write_slot (the
+        # single mutation point) and rebuilt wholesale by format()/attach():
+        #   _by_addr: block start address -> slot (non-free slots only;
+        #             addresses are unique because _find_gap never overlaps)
+        #   _by_name: name -> set of non-free slots carrying it
+        #   _live:    set of non-free slots
+        #   _free_slots: min-heap of free slot indices (lazily deduped)
+        self._by_addr: dict[int, int] = {}
+        self._by_name: dict[str, set[int]] = {}
+        self._live: set[int] = set()
+        self._free_slots: list[int] = []
         self._attach_or_format()
 
     # ------------------------------------------------------------------
@@ -96,6 +108,7 @@ class Heapo:
         empty = struct.pack(_DESC_FMT, BlockState.FREE, 0, 0, b"")
         self.nvram.persist(_SUPERBLOCK_SIZE, empty * self.num_slots)
         self._slots = [(BlockState.FREE, 0, 0, "")] * self.num_slots
+        self._rebuild_indexes()
 
     def attach(self) -> None:
         """Rebuild the volatile allocator state from durable descriptors.
@@ -112,6 +125,23 @@ class Heapo:
             )
             name = name_b.rstrip(b"\x00").decode("utf-8", "replace")
             self._slots.append((BlockState(state_b), size, addr, name))
+        self._rebuild_indexes()
+
+    def _rebuild_indexes(self) -> None:
+        """Derive the volatile lookup indexes from ``_slots``."""
+        self._by_addr = {}
+        self._by_name = {}
+        self._live = set()
+        free: list[int] = []
+        for slot, (state, _size, addr, name) in enumerate(self._slots):
+            if state is BlockState.FREE:
+                free.append(slot)
+            else:
+                self._live.add(slot)
+                self._by_addr[addr] = slot
+                self._by_name.setdefault(name, set()).add(slot)
+        # Already sorted ascending, which is a valid heap.
+        self._free_slots = free
 
     def recover(self) -> list[int]:
         """Reclaim every **pending** block; return their addresses.
@@ -121,7 +151,8 @@ class Heapo:
         garbage.
         """
         reclaimed = []
-        for slot, (state, size, addr, _name) in enumerate(self._slots):
+        for slot in sorted(self._live):
+            state, _size, addr, _name = self._slots[slot]
             if state is BlockState.PENDING:
                 reclaimed.append(addr)
                 self._write_slot(slot, BlockState.FREE, 0, 0, "")
@@ -168,18 +199,33 @@ class Heapo:
     # ------------------------------------------------------------------
 
     def lookup(self, name: str) -> NvAllocation | None:
-        """Find a named allocation in the persistent namespace."""
-        for slot, (state, size, addr, slot_name) in enumerate(self._slots):
-            if state is not BlockState.FREE and slot_name == name:
-                return NvAllocation(slot, addr, size, name)
-        return None
+        """Find a named allocation in the persistent namespace.
+
+        Several allocations may share a name (NVWAL's log blocks all carry
+        ``"nvwal-blk"``); like the descriptor-table scan this replaces, the
+        lowest occupied slot wins.
+        """
+        slots = self._by_name.get(name)
+        if not slots:
+            return None
+        slot = min(slots)
+        _state, size, addr, _name = self._slots[slot]
+        return NvAllocation(slot, addr, size, name)
+
+    def allocation_at(self, addr: int) -> NvAllocation | None:
+        """The pending or in-use allocation starting at ``addr``, if any."""
+        slot = self._by_addr.get(addr)
+        if slot is None:
+            return None
+        _state, size, _addr, name = self._slots[slot]
+        return NvAllocation(slot, addr, size, name)
 
     def state_of(self, addr: int) -> BlockState:
         """State of the allocation starting at ``addr`` (FREE if none)."""
-        for state, _size, slot_addr, _name in self._slots:
-            if state is not BlockState.FREE and slot_addr == addr:
-                return state
-        return BlockState.FREE
+        slot = self._by_addr.get(addr)
+        if slot is None:
+            return BlockState.FREE
+        return self._slots[slot][0]
 
     def is_live(self, addr: int) -> bool:
         """Whether ``addr`` starts an **in-use** allocation.
@@ -190,20 +236,16 @@ class Heapo:
         return self.state_of(addr) is BlockState.IN_USE
 
     def live_allocations(self) -> list[NvAllocation]:
-        """All pending or in-use allocations."""
-        return [
-            NvAllocation(slot, addr, size, name)
-            for slot, (state, size, addr, name) in enumerate(self._slots)
-            if state is not BlockState.FREE
-        ]
+        """All pending or in-use allocations, in slot order."""
+        out = []
+        for slot in sorted(self._live):
+            _state, size, addr, name = self._slots[slot]
+            out.append(NvAllocation(slot, addr, size, name))
+        return out
 
     def bytes_in_use(self) -> int:
         """Total bytes held by pending or in-use allocations."""
-        return sum(
-            size
-            for state, size, _addr, _name in self._slots
-            if state is not BlockState.FREE
-        )
+        return sum(self._slots[slot][1] for slot in self._live)
 
     # ------------------------------------------------------------------
     # internals
@@ -219,17 +261,28 @@ class Heapo:
         return NvAllocation(slot, addr, size, name)
 
     def _find_free_slot(self) -> int:
-        for slot, (state, _s, _a, _n) in enumerate(self._slots):
-            if state is BlockState.FREE:
+        """Lowest free slot, from the free-slot min-heap.
+
+        Entries can go stale (a slot re-occupied through attach() keeps its
+        heap entry), so pops are validated against the descriptor table.
+        """
+        heap = self._free_slots
+        while heap:
+            slot = heapq.heappop(heap)
+            if self._slots[slot][0] is BlockState.FREE:
                 return slot
         raise OutOfNvram("heap descriptor table is full")
 
     def _find_gap(self, size: int) -> int:
-        """First-fit search of the heap area for a free extent."""
+        """First-fit search of the heap area for a free extent.
+
+        Scans live allocations (via the by-address index) rather than the
+        whole descriptor table, so allocation cost tracks the number of
+        live blocks, not the table size.
+        """
         used = sorted(
-            (addr, addr + alloc_size)
-            for state, alloc_size, addr, _name in self._slots
-            if state is not BlockState.FREE
+            (addr, addr + self._slots[slot][1])
+            for addr, slot in self._by_addr.items()
         )
         cursor = self.heap_start
         for start, end in used:
@@ -253,7 +306,22 @@ class Heapo:
             _DESC_FMT, int(state), size, addr, name.encode("utf-8")[:16]
         )
         self.nvram.persist(_SUPERBLOCK_SIZE + slot * _DESC_SIZE, record)
+        old_state, _old_size, old_addr, old_name = self._slots[slot]
+        if old_state is not BlockState.FREE:
+            self._by_addr.pop(old_addr, None)
+            holders = self._by_name.get(old_name)
+            if holders is not None:
+                holders.discard(slot)
+                if not holders:
+                    del self._by_name[old_name]
+            self._live.discard(slot)
         self._slots[slot] = (state, size, addr, name)
+        if state is BlockState.FREE:
+            heapq.heappush(self._free_slots, slot)
+        else:
+            self._live.add(slot)
+            self._by_addr[addr] = slot
+            self._by_name.setdefault(name, set()).add(slot)
 
 
 def _align_up(value: int, alignment: int) -> int:

@@ -395,10 +395,9 @@ class NvwalBackend(WalBackend):
         return chain
 
     def _live_block_at(self, addr: int) -> NvAllocation | None:
-        for alloc in self.heapo.live_allocations():
-            if alloc.addr == addr and self.heapo.is_live(addr):
-                return alloc
-        return None
+        if not self.heapo.is_live(addr):
+            return None
+        return self.heapo.allocation_at(addr)
 
     def _scan_frames(
         self, chain: list[NvAllocation]

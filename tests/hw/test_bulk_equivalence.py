@@ -1,0 +1,282 @@
+"""The bulk data path must be indistinguishable from per-line semantics.
+
+The fast-path work (bulk ``store``/``load`` in the cache, batched
+``dccmvac`` issue, incrementally tracked pipeline completion) is allowed to
+change host wall-clock only.  These tests pin that contract two ways:
+
+* :class:`ReferenceMachine` re-implements the original per-line semantics —
+  line-by-line fill-then-patch stores, per-line loads, one :meth:`Cpu.dccmvac`
+  call per covered line, and barrier waits that re-scan ``pending`` with
+  ``max()`` — and a randomized op sequence must leave both machines with
+  identical cache contents, dirty-line age order, pending queue, stats, and
+  a bit-identical simulated clock.
+* Setting a no-op ``crash_hook`` forces ``cache_line_flush`` down the real
+  per-instruction path that crash injection uses; a hooked and an unhooked
+  system fed the same ops must stay bit-identical, so the batch path cannot
+  drift from the instruction-level model it replaces.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import nexus5, tuna
+from repro.hw import stats as statnames
+from repro.hw.cpu import PendingPersist
+from repro.hw.stats import TimeBucket
+from repro.system import System
+
+#: Scratch window well above the Heapo metadata region; both machines use
+#: the same addresses so any divergence is the data path's fault.
+WINDOW_BASE = 1 << 20
+WINDOW_SIZE = 64 * 1024
+
+
+class ReferenceMachine:
+    """The pre-fast-path simulator semantics, kept as the test oracle.
+
+    Drives a real :class:`System` but routes every operation through the
+    original per-line algorithms.  Timing *formulas* match the production
+    code operation for operation (same floats added in the same order), so
+    the clocks must compare equal exactly, not approximately.
+    """
+
+    def __init__(self, config) -> None:
+        self.system = System(config, seed=0)
+        self.cpu = self.system.cpu
+        self.cache = self.cpu.cache
+        self.config = self.cpu.config
+
+    # -- data path ------------------------------------------------------
+
+    def _store_lines(self, addr: int, data: bytes) -> None:
+        cache = self.cache
+        cache.nvram.check_range(addr, len(data))
+        offset = 0
+        for base in cache.lines_covering(addr, len(data)):
+            line = cache._fill(base)  # always fill, even full overwrites
+            lo = max(addr, base)
+            hi = min(addr + len(data), base + cache.line_size)
+            line[lo - base : hi - base] = data[offset : offset + hi - lo]
+            offset += hi - lo
+            cache._dirty.pop(base, None)
+            cache._dirty[base] = None
+
+    def store(self, addr: int, data: bytes) -> None:
+        self._store_lines(addr, data)
+        cost = self.config.cache.memcpy_ns_per_byte * len(data)
+        self.cpu.clock.advance(cost)
+        self.cpu.stats.add_time(TimeBucket.CPU, cost)
+
+    def memcpy(self, dst: int, data: bytes) -> None:
+        cpu = self.cpu
+        cost = (
+            self.config.cache.memcpy_base_ns
+            + self.config.cache.memcpy_ns_per_byte * len(data)
+        )
+        self._store_lines(dst, data)
+        cpu.clock.advance(cost)
+        cpu.stats.add_time(TimeBucket.MEMCPY, cost)
+        cpu.stats.count("memcpy_bytes", len(data))
+        threshold = self.config.cache.eviction_threshold_lines
+        while self.cache.dirty_line_count() > threshold:
+            evicted = self.cache.evict_oldest_dirty()
+            if evicted is None:
+                break
+            addr, line = evicted
+            cpu.pending.append(PendingPersist(addr, line, cpu.clock.now_ns))
+            cpu.stats.count("cache_evictions")  # one count per eviction
+
+    def load(self, addr: int, length: int) -> bytes:
+        cpu, cache = self.cpu, self.cache
+        cache.nvram.check_range(addr, length)
+        bases = cache.lines_covering(addr, length)
+        cost = self.config.nvram.read_latency_ns * len(bases)
+        cpu.clock.advance(cost)
+        cpu.stats.add_time(TimeBucket.CPU, cost)
+        chunks = []
+        for base in bases:
+            line = cache._lines.get(base)
+            if line is None:
+                line = cache.nvram.read(base, cache.line_size)
+            lo = max(addr, base)
+            hi = min(addr + length, base + cache.line_size)
+            chunks.append(bytes(line[lo - base : hi - base]))
+        return b"".join(chunks)
+
+    # -- flush + barriers ----------------------------------------------
+
+    def cache_line_flush(self, start: int, end: int) -> None:
+        cpu = self.cpu
+        cpu.clock.advance(self.config.cache.syscall_ns)
+        cpu.stats.add_time(TimeBucket.SYSCALL, self.config.cache.syscall_ns)
+        cpu.stats.count(statnames.FLUSH_CALLS)
+        for base in self.cache.lines_covering(start, end - start):
+            cpu.dccmvac(base)  # the per-instruction path, unchanged
+
+    def dmb(self) -> None:
+        cpu = self.cpu
+        start = cpu.clock.now_ns
+        cpu.clock.advance(self.config.cache.dmb_ns)
+        if cpu.pending:
+            # the original O(pending) rescan the tracked max replaced
+            cpu.clock.advance_to(max(p.completion_ns for p in cpu.pending))
+        cpu.stats.add_time(TimeBucket.DMB, cpu.clock.now_ns - start)
+        cpu.stats.count(statnames.DMBS)
+
+    def persist_barrier(self) -> None:
+        cpu = self.cpu
+        start = cpu.clock.now_ns
+        if cpu.pending:
+            cpu.clock.advance_to(max(p.completion_ns for p in cpu.pending))
+        cpu.clock.advance(self.config.cache.persist_barrier_ns)
+        cpu.stats.add_time(
+            TimeBucket.PERSIST_BARRIER, cpu.clock.now_ns - start
+        )
+        cpu.stats.count(statnames.PERSIST_BARRIERS)
+        for entry in cpu.pending:
+            cpu.nvram.persist(entry.addr, entry.data)
+            cpu.stats.count(statnames.NVRAM_LINES_PERSISTED)
+            cpu.stats.count(statnames.NVRAM_BYTES_WRITTEN, len(entry.data))
+        cpu.pending.clear()
+        cpu._pending_max_completion = 0.0
+
+
+def observable_state(system: System) -> dict:
+    """Everything the simulation can observe, floats via repr (exact)."""
+    cache = system.cache
+    return {
+        "clock": repr(system.clock.now_ns),
+        "time_ns": {k: repr(v) for k, v in system.stats.time_ns.items()},
+        "counters": dict(system.stats.counters),
+        "lines": {base: bytes(line) for base, line in cache._lines.items()},
+        "line_order": list(cache._lines),
+        "dirty_order": list(cache._dirty),
+        "pending": [
+            (p.addr, p.data, repr(p.completion_ns)) for p in system.cpu.pending
+        ],
+        "durable": system.nvram.read(WINDOW_BASE, WINDOW_SIZE),
+        "wear": dict(system.nvram._wear),
+    }
+
+
+def random_ops(rng: random.Random, steps: int):
+    """A randomized primitive-op script over the scratch window."""
+    line_hint = 64
+    for _ in range(steps):
+        kind = rng.choice(
+            ["store", "store", "memcpy", "load", "flush", "flush", "dmb", "pb"]
+        )
+        if kind in ("store", "memcpy"):
+            length = rng.choice([1, 7, line_hint - 1, line_hint, 200, 4096])
+            addr = WINDOW_BASE + rng.randrange(WINDOW_SIZE - length)
+            yield (kind, addr, rng.randbytes(length))
+        elif kind == "load":
+            length = rng.choice([0, 1, 63, 64, 65, 300])
+            addr = WINDOW_BASE + rng.randrange(WINDOW_SIZE - max(length, 1))
+            yield (kind, addr, length)
+        elif kind == "flush":
+            start = WINDOW_BASE + rng.randrange(WINDOW_SIZE - 4096)
+            end = start + rng.choice([0, 1, 64, 100, 2048, 4096])
+            yield (kind, start, end)
+        else:
+            yield (kind,)
+
+
+def apply_op(machine, op) -> bytes | None:
+    """Apply one scripted op to a machine exposing the Cpu-like surface."""
+    kind = op[0]
+    if kind == "store":
+        machine.store(op[1], op[2])
+    elif kind == "memcpy":
+        machine.memcpy(op[1], op[2])
+    elif kind == "load":
+        return machine.load(op[1], op[2])
+    elif kind == "flush":
+        machine.cache_line_flush(op[1], op[2])
+    elif kind == "dmb":
+        machine.dmb()
+    else:
+        machine.persist_barrier()
+    return None
+
+
+@pytest.mark.parametrize("make_config", [tuna, nexus5], ids=["tuna", "nexus5"])
+def test_randomized_ops_match_per_line_oracle(make_config):
+    """500 random primitive ops: fast path == per-line reference, exactly."""
+    fast = System(make_config(), seed=0)
+    ref = ReferenceMachine(make_config())
+    rng = random.Random(20160227)  # the paper's conference year, why not
+    for step, op in enumerate(random_ops(rng, 500)):
+        got = apply_op(fast.cpu, op)
+        want = apply_op(ref, op)
+        assert got == want, f"load mismatch at step {step}: {op[:2]}"
+        if step % 25 == 0 or op[0] in ("dmb", "pb"):
+            assert observable_state(fast) == observable_state(ref.system), (
+                f"state diverged at step {step}: {op[:2]}"
+            )
+    assert observable_state(fast) == observable_state(ref.system)
+
+
+@pytest.mark.parametrize("make_config", [tuna, nexus5], ids=["tuna", "nexus5"])
+def test_batched_flush_matches_hooked_per_line_path(make_config):
+    """A no-op crash hook forces the per-instruction flush path; it must be
+    bit-identical to the batch path an unhooked system takes."""
+    batched = System(make_config(), seed=0)
+    per_line = System(make_config(), seed=0)
+    per_line.cpu.crash_hook = lambda op: None
+    rng = random.Random(7)
+    for step, op in enumerate(random_ops(rng, 400)):
+        got = apply_op(batched.cpu, op)
+        want = apply_op(per_line.cpu, op)
+        assert got == want
+        assert repr(batched.clock.now_ns) == repr(per_line.clock.now_ns), (
+            f"clock diverged at step {step}: {op[:2]}"
+        )
+    per_line.cpu.crash_hook = None
+    assert observable_state(batched) == observable_state(per_line)
+
+
+def test_full_line_store_skips_device_fill_but_matches_contents():
+    """Whole-line overwrites skip the device read; contents still match a
+    fill-then-patch, and a partial store on the same line still fills."""
+    fast = System(tuna(), seed=0)
+    ref = ReferenceMachine(tuna())
+    line = fast.cache.line_size
+    seeded = bytes(range(256))[: 2 * line]
+    fast.nvram.persist(WINDOW_BASE, seeded)
+    ref.cpu.nvram.persist(WINDOW_BASE, seeded)
+    # full-line overwrite, then a partial poke on the next (seeded) line
+    for machine in (fast.cpu, ref):
+        machine.store(WINDOW_BASE, b"\xaa" * line)
+        machine.store(WINDOW_BASE + line + 3, b"\xbb")
+    assert observable_state(fast) == observable_state(ref.system)
+    assert fast.cpu.load_free(WINDOW_BASE, 2 * line) == ref.load(
+        WINDOW_BASE, 2 * line
+    )
+
+
+def test_pending_max_survives_partial_flush_dmb_interleaving():
+    """The incrementally tracked pending max must equal a fresh max() scan
+    at every barrier, even when flushes interleave with dmb (which does not
+    clear the queue — only persist_barrier does)."""
+    system = System(tuna(), seed=0)
+    cpu = system.cpu
+    line = system.cache.line_size
+    for i in range(8):
+        cpu.store(WINDOW_BASE + i * line, b"\x11" * line)
+    cpu.cache_line_flush(WINDOW_BASE, WINDOW_BASE + 3 * line)
+    assert cpu._pending_max_completion == max(
+        p.completion_ns for p in cpu.pending
+    )
+    cpu.dmb()  # waits, but pending stays queued
+    assert cpu.pending
+    cpu.cache_line_flush(WINDOW_BASE + 3 * line, WINDOW_BASE + 8 * line)
+    assert cpu._pending_max_completion == max(
+        p.completion_ns for p in cpu.pending
+    )
+    cpu.persist_barrier()
+    assert not cpu.pending
+    assert cpu._pending_max_completion == 0.0

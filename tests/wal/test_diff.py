@@ -95,6 +95,105 @@ class TestApplyExtents:
         assert result == b"AABB\x00\x00\x00\x00\x00\x00"
 
 
+class TestChunkBoundaryEdges:
+    """Changes landing exactly on the 64-byte comparison-chunk boundaries.
+
+    ``_changed_ranges`` compares 64-byte chunks before refining bytewise,
+    so off-by-ones cluster at multiples of 64; these cases pin the exact
+    extents there.
+    """
+
+    def test_change_fills_exactly_one_chunk(self):
+        old = bytes(256)
+        new = mutate(old, [(64, b"\x01" * 64)])
+        extents = compute_extents(old, new, DiffMode.MULTI_RANGE)
+        assert extents == [(64, b"\x01" * 64)]
+
+    def test_change_ends_exactly_at_chunk_boundary(self):
+        old = bytes(256)
+        new = mutate(old, [(60, b"\x01" * 4)])  # [60, 64)
+        extents = compute_extents(old, new, DiffMode.MULTI_RANGE)
+        assert extents == [(60, b"\x01" * 4)]
+
+    def test_change_starts_exactly_at_chunk_boundary(self):
+        old = bytes(256)
+        new = mutate(old, [(128, b"\x01" * 4)])
+        extents = compute_extents(old, new, DiffMode.MULTI_RANGE)
+        assert extents == [(128, b"\x01" * 4)]
+
+    def test_change_straddles_chunk_boundary(self):
+        old = bytes(256)
+        new = mutate(old, [(62, b"\x01" * 4)])  # [62, 66) crosses 64
+        extents = compute_extents(old, new, DiffMode.MULTI_RANGE)
+        assert extents == [(62, b"\x01" * 4)]
+
+    def test_adjacent_dirty_chunks_coalesce(self):
+        old = bytes(512)
+        new = mutate(old, [(64, b"\x01" * 128)])  # chunks [64,128) + [128,192)
+        extents = compute_extents(old, new, DiffMode.MULTI_RANGE)
+        assert extents == [(64, b"\x01" * 128)]
+
+    def test_single_trailing_dirty_byte(self):
+        for size in (64, 256, 4096, 4097):
+            old = bytes(size)
+            new = mutate(old, [(size - 1, b"\x01")])
+            for mode in (DiffMode.SINGLE_RANGE, DiffMode.MULTI_RANGE):
+                assert compute_extents(old, new, mode) == [(size - 1, b"\x01")]
+
+    def test_single_leading_dirty_byte(self):
+        for size in (64, 256, 4096, 4097):
+            old = bytes(size)
+            new = mutate(old, [(0, b"\x01")])
+            for mode in (DiffMode.SINGLE_RANGE, DiffMode.MULTI_RANGE):
+                assert compute_extents(old, new, mode) == [(0, b"\x01")]
+
+    def test_page_not_multiple_of_chunk(self):
+        old = bytes(100)  # final chunk is the short tail [64, 100)
+        new = mutate(old, [(99, b"\x01")])
+        extents = compute_extents(old, new, DiffMode.MULTI_RANGE)
+        assert extents == [(99, b"\x01")]
+
+    def test_every_byte_changed(self):
+        old = bytes(192)
+        new = b"\x01" * 192
+        assert compute_extents(old, new, DiffMode.MULTI_RANGE) == [(0, new)]
+
+    def test_dirty_bytes_in_every_chunk_merge_across_small_gaps(self):
+        old = bytes(256)
+        # one dirty byte per 64-byte chunk: gaps of 63 < merge gap of 64
+        new = mutate(old, [(i, b"\x01") for i in (0, 64, 128, 192)])
+        extents = compute_extents(old, new, DiffMode.MULTI_RANGE)
+        assert extents == [(0, mutate(old, [(i, b"\x01") for i in (0, 64, 128, 192)])[:193])]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    base=st.binary(min_size=1, max_size=300),
+    edits=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=299), st.binary(max_size=80)),
+        max_size=6,
+    ),
+    pad=st.integers(min_value=0, max_value=2),
+)
+def test_single_vs_multi_range_equivalence_property(base, edits, pad):
+    """SINGLE_RANGE and MULTI_RANGE encode differently but must round-trip
+    to the same image under apply_extents, from the same base."""
+    base = base + bytes(pad) + base  # exercise sizes straddling chunk edges
+    edits = [(o, d) for o, d in edits if o + len(d) <= len(base)]
+    new = mutate(base, edits)
+    single = compute_extents(base, new, DiffMode.SINGLE_RANGE)
+    multi = compute_extents(base, new, DiffMode.MULTI_RANGE)
+    assert apply_extents(base, single) == new
+    assert apply_extents(base, multi) == new
+    # MULTI_RANGE is never a worse encoding than SINGLE_RANGE
+    assert sum(len(d) for _o, d in multi) <= sum(len(d) for _o, d in single)
+    if single:
+        # the single range is exactly first-dirty..last-dirty
+        (offset, data), = single
+        assert offset == multi[0][0]
+        assert offset + len(data) == multi[-1][0] + len(multi[-1][1])
+
+
 @settings(max_examples=100, deadline=None)
 @given(
     base=st.binary(min_size=64, max_size=512),
