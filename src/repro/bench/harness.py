@@ -130,22 +130,29 @@ def default_jobs() -> int:
     return max(1, (os.cpu_count() or 1) - 1)
 
 
+def parallel_map(fn: Callable, items: Sequence | Iterable, jobs: int = 1) -> list:
+    """Apply a picklable, module-level ``fn`` to every item, ``jobs`` at a
+    time, results in input order.
+
+    ``jobs <= 1`` runs inline (no subprocess overhead, easier debugging);
+    anything higher fans out over a process pool.  Callers guarantee ``fn``
+    is deterministic per item, so results are identical either way — only
+    host wall-clock time changes.  Shared by the benchmark sweeps and the
+    torture harness's seed fan-out.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        # Executor.map preserves input order regardless of completion order.
+        return list(pool.map(fn, items))
+
+
 def run_tasks(
     tasks: Sequence[RunTask] | Iterable[RunTask], jobs: int = 1
 ) -> list[RunResult]:
-    """Run every task, ``jobs`` at a time, results in task order.
-
-    ``jobs <= 1`` runs inline (no subprocess overhead, easier debugging);
-    anything higher fans out over a process pool.  Each worker process runs
-    fully independent simulations, so results are identical either way —
-    only host wall-clock time changes.
-    """
-    tasks = list(tasks)
-    if jobs <= 1 or len(tasks) <= 1:
-        return [_run_task(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        # Executor.map preserves input order regardless of completion order.
-        return list(pool.map(_run_task, tasks))
+    """Run every task, ``jobs`` at a time, results in task order."""
+    return parallel_map(_run_task, tasks, jobs=jobs)
 
 
 def sweep_latency(

@@ -36,6 +36,15 @@ class PowerFailure(HardwareError):
     """
 
 
+class MediaError(HardwareError):
+    """An NVRAM read hit an uncorrectable (poisoned) media unit.
+
+    Models ECC-uncorrectable cell decay: the device *detects* the failure
+    instead of silently returning garbage.  Recovery code treats the
+    affected region as unreadable and salvages around it.
+    """
+
+
 # ---------------------------------------------------------------------------
 # NVRAM heap errors
 # ---------------------------------------------------------------------------
@@ -81,6 +90,16 @@ class OutOfSpace(StorageError):
 
 class FsConsistencyError(StorageError):
     """The filesystem detected corrupted on-device metadata."""
+
+
+class IoError(StorageError):
+    """A block-device read or write failed transiently.
+
+    eMMC devices occasionally fail a command and succeed on retry; the
+    filesystem and WAL layers absorb these with bounded
+    retry-with-backoff, so the error only propagates when the device
+    keeps failing past the retry budget.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,18 @@
+"""Fault models for the NVWAL simulator.
+
+See :mod:`repro.faults.plan` for the declarative fault descriptions and
+:mod:`repro.faults.inject` for the device-level injectors that realize
+them.  :meth:`repro.system.System.inject_faults` wires a plan into a
+simulated machine.
+"""
+
+from repro.faults.inject import BlockIoFaultInjector, NvramFaultInjector
+from repro.faults.plan import FaultPlan, IoFaultSpec, MediaFaultSpec
+
+__all__ = [
+    "BlockIoFaultInjector",
+    "FaultPlan",
+    "IoFaultSpec",
+    "MediaFaultSpec",
+    "NvramFaultInjector",
+]

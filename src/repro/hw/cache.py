@@ -18,6 +18,7 @@ around the commit mark.
 from __future__ import annotations
 
 from repro.config import CacheConfig
+from repro.errors import MediaError
 from repro.hw.memory import NvramDevice
 
 
@@ -90,7 +91,14 @@ class CacheHierarchy:
             else:
                 line = lines.get(base)
                 if line is None:
-                    line = bytearray(self.nvram.read(base, line_size))
+                    try:
+                        line = bytearray(self.nvram.read(base, line_size))
+                    except MediaError:
+                        # Write-allocate on a line holding a poisoned unit:
+                        # the unreadable bytes are garbage either way, and
+                        # the eventual full-line write-back replaces the
+                        # unit's codeword, clearing the poison.
+                        line = bytearray(line_size)
                     lines[base] = line
                 line[in_line : in_line + chunk] = view[offset : offset + chunk]
             dirty.pop(base, None)

@@ -44,6 +44,8 @@ class CrashController:
         self._armed_at: int | None = None
         self._op_count = 0
         self._op_filter: Callable[[str], bool] | None = None
+        #: True between a power failure and the next :meth:`power_on`.
+        self.powered_off = False
 
     # ------------------------------------------------------------------
     # arming
@@ -89,13 +91,25 @@ class CrashController:
         self.apply_power_loss()
         raise PowerFailure("simulated power failure")
 
+    def power_on(self) -> None:
+        """Restore power after a failure (part of reboot choreography)."""
+        self.powered_off = False
+
     def apply_power_loss(self) -> None:
         """The physics of the failure, without the control-flow unwind.
 
         Each volatile 8-byte unit lands independently with
         ``land_probability``; durable bytes are untouched.  Afterwards all
         volatile tiers are empty, as they would be after a reboot.
+
+        Cutting power on a machine that is already off is a no-op: a dead
+        machine has no volatile state left to land, and re-drawing the
+        landing lottery would perturb the seeded RNG stream.  The flag is
+        cleared by :meth:`power_on`.
         """
+        if self.powered_off:
+            return
+        self.powered_off = True
         dirty_lines, pending = self.cpu.volatile_state()
         # Memory-subsystem entries are "closer" to the device, but without a
         # persist barrier nothing guarantees they landed: same coin flip.

@@ -34,6 +34,9 @@ class NvramDevice:
         self.config = config or NvramConfig()
         self._data = bytearray(self.config.size)
         self._wear: dict[int, int] = {}
+        # Optional media-fault injector (repro.faults): overlays stuck
+        # units and fails poisoned ones on the read path.
+        self.fault_injector = None
 
     @property
     def size(self) -> int:
@@ -59,6 +62,8 @@ class NvramDevice:
         """
         self.check_range(addr, len(payload))
         self._data[addr : addr + len(payload)] = payload
+        if self.fault_injector is not None:
+            self.fault_injector.on_write(addr, len(payload))
         if payload:
             first = addr // WEAR_REGION
             last = (addr + len(payload) - 1) // WEAR_REGION
@@ -66,9 +71,17 @@ class NvramDevice:
                 self._wear[region] = self._wear.get(region, 0) + 1
 
     def read(self, addr: int, length: int) -> bytes:
-        """Return the durable contents of [addr, addr+length)."""
+        """Return the durable contents of [addr, addr+length).
+
+        With a fault injector installed, stuck atomic units read back
+        their frozen decayed value and poisoned units raise
+        :class:`repro.errors.MediaError` instead of returning garbage.
+        """
         self.check_range(addr, length)
-        return bytes(self._data[addr : addr + length])
+        data = bytes(self._data[addr : addr + length])
+        if self.fault_injector is not None:
+            data = self.fault_injector.filter_read(addr, length, data)
+        return data
 
     def durable_image(self) -> bytes:
         """A full copy of the durable state (used by crash tests)."""

@@ -28,7 +28,7 @@ import heapq
 import struct
 from dataclasses import dataclass
 
-from repro.errors import BadHandle, HeapStateError, OutOfNvram
+from repro.errors import BadHandle, HeapStateError, MediaError, OutOfNvram
 from repro.hw import stats as statnames
 from repro.hw.cpu import Cpu
 from repro.hw.memory import NvramDevice
@@ -85,6 +85,13 @@ class Heapo:
         self._by_name: dict[str, set[int]] = {}
         self._live: set[int] = set()
         self._free_slots: list[int] = []
+        # Slots whose durable descriptor is corrupt or unreadable, mapped
+        # to the (addr, size) extent they *may* still cover (None when the
+        # extent itself is unknown).  Volatile-only: quarantined slots are
+        # neither live nor free, and their extents are never handed out
+        # again, so a decayed descriptor degrades to a leaked block
+        # instead of a crash or silent data overlap.
+        self._quarantined: dict[int, tuple[int, int] | None] = {}
         self._attach_or_format()
 
     # ------------------------------------------------------------------
@@ -92,7 +99,13 @@ class Heapo:
     # ------------------------------------------------------------------
 
     def _attach_or_format(self) -> None:
-        raw = self.nvram.read(0, _SUPERBLOCK_SIZE)
+        try:
+            raw = self.nvram.read(0, _SUPERBLOCK_SIZE)
+        except MediaError:
+            # Unreadable superblock: nothing below it can be trusted either,
+            # so reinitialize.  Database state survives in the db file.
+            self.format()
+            return
         magic, num_slots, heap_start = struct.unpack(_SUPERBLOCK_FMT, raw)
         if magic == _MAGIC and num_slots == self.num_slots:
             self.heap_start = heap_start
@@ -108,6 +121,7 @@ class Heapo:
         empty = struct.pack(_DESC_FMT, BlockState.FREE, 0, 0, b"")
         self.nvram.persist(_SUPERBLOCK_SIZE, empty * self.num_slots)
         self._slots = [(BlockState.FREE, 0, 0, "")] * self.num_slots
+        self._quarantined = {}
         self._rebuild_indexes()
 
     def attach(self) -> None:
@@ -115,17 +129,84 @@ class Heapo:
 
         Called at boot; corresponds to re-mapping the persistent namespace
         into the process address space.
+
+        Media decay can corrupt a descriptor into an invalid tri-state
+        value, an out-of-range extent, or an unreadable slot.  Such slots
+        are *quarantined* (see ``_quarantined``) rather than crashing the
+        boot: the block they covered is unusable, but every other
+        allocation attaches normally.
         """
         self._slots = []
+        self._quarantined = {}
         base = _SUPERBLOCK_SIZE
-        raw = self.nvram.read(base, self.num_slots * _DESC_SIZE)
+        try:
+            raw = self.nvram.read(base, self.num_slots * _DESC_SIZE)
+        except MediaError:
+            # A poisoned unit somewhere in the table: fall back to
+            # per-descriptor reads so one bad slot costs one slot.
+            raw = None
+        seen_addrs: set[int] = set()
         for i in range(self.num_slots):
+            if raw is not None:
+                record: bytes | None = raw
+                offset = i * _DESC_SIZE
+            else:
+                offset = 0
+                try:
+                    record = self.nvram.read(base + i * _DESC_SIZE, _DESC_SIZE)
+                except MediaError:
+                    record = None
+            if record is None:
+                self._slots.append((BlockState.FREE, 0, 0, ""))
+                self._quarantined[i] = None
+                continue
             state_b, size, addr, name_b = struct.unpack_from(
-                _DESC_FMT, raw, i * _DESC_SIZE
+                _DESC_FMT, record, offset
             )
+            if not self._descriptor_valid(state_b, size, addr):
+                self._slots.append((BlockState.FREE, 0, 0, ""))
+                self._quarantined[i] = self._plausible_extent(addr, size)
+                continue
+            if state_b != int(BlockState.FREE):
+                if addr in seen_addrs:
+                    # Two descriptors claiming one address: at least one
+                    # is decayed; keep the first, quarantine the other.
+                    self._slots.append((BlockState.FREE, 0, 0, ""))
+                    self._quarantined[i] = self._plausible_extent(addr, size)
+                    continue
+                seen_addrs.add(addr)
             name = name_b.rstrip(b"\x00").decode("utf-8", "replace")
             self._slots.append((BlockState(state_b), size, addr, name))
         self._rebuild_indexes()
+
+    def _descriptor_valid(self, state_b: int, size: int, addr: int) -> bool:
+        """Whether a durable descriptor decodes to a usable allocation."""
+        if state_b not in (
+            int(BlockState.FREE),
+            int(BlockState.PENDING),
+            int(BlockState.IN_USE),
+        ):
+            return False
+        if state_b == int(BlockState.FREE):
+            return True  # payload fields of free slots are ignored
+        return (
+            size > 0
+            and size % 64 == 0
+            and addr % 64 == 0
+            and addr >= self.heap_start
+            and addr + size <= self.nvram.size
+        )
+
+    def _plausible_extent(self, addr: int, size: int) -> tuple[int, int] | None:
+        """The extent a corrupt descriptor may still cover, clamped to the
+        device — kept out of the allocator so live data is never overlaid."""
+        if 0 <= addr < self.nvram.size and size > 0:
+            return (addr, min(size, self.nvram.size - addr))
+        return None
+
+    def quarantined_slots(self) -> list[int]:
+        """Slots quarantined by the last :meth:`attach` (sorted)."""
+        return sorted(self._quarantined)
 
     def _rebuild_indexes(self) -> None:
         """Derive the volatile lookup indexes from ``_slots``."""
@@ -134,6 +215,8 @@ class Heapo:
         self._live = set()
         free: list[int] = []
         for slot, (state, _size, addr, name) in enumerate(self._slots):
+            if slot in self._quarantined:
+                continue  # neither live nor reusable
             if state is BlockState.FREE:
                 free.append(slot)
             else:
@@ -281,8 +364,15 @@ class Heapo:
         live blocks, not the table size.
         """
         used = sorted(
-            (addr, addr + self._slots[slot][1])
-            for addr, slot in self._by_addr.items()
+            [
+                (addr, addr + self._slots[slot][1])
+                for addr, slot in self._by_addr.items()
+            ]
+            + [
+                (extent[0], extent[0] + extent[1])
+                for extent in self._quarantined.values()
+                if extent is not None
+            ]
         )
         cursor = self.heap_start
         for start, end in used:

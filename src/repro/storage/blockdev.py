@@ -43,6 +43,9 @@ class BlockDevice:
         self._cache: dict[int, bytes] = {}
         self._rng = random.Random(seed)
         self._zero_page = bytes(self.page_size)
+        # Optional transient-failure injector (repro.faults): timed page
+        # commands may raise IoError; read_page_silent is exempt.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # data path
@@ -59,6 +62,8 @@ class BlockDevice:
             raise AddressError(
                 f"page write must be exactly {self.page_size} bytes, got {len(data)}"
             )
+        if self.fault_injector is not None:
+            self.fault_injector.before_op("write", pno)
         self._cache[pno] = bytes(data)
         self.clock.advance(self.config.write_latency_ns)
         self.stats.add_time(TimeBucket.BLOCK_IO, self.config.write_latency_ns)
@@ -68,6 +73,8 @@ class BlockDevice:
     def read_page(self, pno: int, tag: str = "unknown") -> bytes:
         """Read one page (write cache wins over durable media)."""
         self._check(pno)
+        if self.fault_injector is not None:
+            self.fault_injector.before_op("read", pno)
         self.clock.advance(self.config.read_latency_ns)
         self.stats.add_time(TimeBucket.BLOCK_IO, self.config.read_latency_ns)
         self.stats.count(statnames.BLOCK_READS)
@@ -98,11 +105,21 @@ class BlockDevice:
     # crash semantics
     # ------------------------------------------------------------------
 
-    def power_fail(self, land_probability: float = 0.5) -> None:
-        """Cut power: each cached page independently lands or is lost."""
-        for pno, data in self._cache.items():
-            if self._rng.random() < land_probability:
-                self._durable[pno] = data
+    def power_fail(
+        self, land_probability: float = 0.5, rng: random.Random | None = None
+    ) -> None:
+        """Cut power: each cached page independently lands or is lost.
+
+        Pass the system-level seeded ``rng`` (the crash controller's) to
+        make the landing pattern deterministic per scenario seed; the
+        device falls back to its own stream for standalone use.  Pages
+        are drawn in sorted order so the outcome does not depend on
+        cache insertion history.
+        """
+        draw = (rng or self._rng).random
+        for pno in sorted(self._cache):
+            if draw() < land_probability:
+                self._durable[pno] = self._cache[pno]
         self._cache.clear()
 
     def cached_page_count(self) -> int:

@@ -34,6 +34,7 @@ import struct
 from repro.errors import (
     FileExists,
     FsConsistencyError,
+    IoError,
     NoSuchFile,
     OutOfSpace,
     StorageError,
@@ -60,6 +61,11 @@ _JTYPE_COMMIT = 2
 _NUM_INODES = 128
 _DIR_BLOCKS = 2
 _JOURNAL_BLOCKS = 256
+
+#: Attempts per page command before a transient IoError is given up on.
+#: Must exceed IoFaultSpec.max_consecutive so injected transients always
+#: clear within the budget.
+_IO_RETRIES = 4
 
 
 class Inode:
@@ -143,6 +149,37 @@ class Ext4FileSystem:
         self._mounted = False
 
     # ------------------------------------------------------------------
+    # device access with bounded retry
+    # ------------------------------------------------------------------
+
+    def _dev_write(self, pno: int, data: bytes, tag: str) -> None:
+        """``write_page`` with bounded retry-with-backoff on transient
+        :class:`IoError`; re-raises once the retry budget is exhausted."""
+        for attempt in range(_IO_RETRIES):
+            try:
+                self.device.write_page(pno, data, tag=tag)
+                return
+            except IoError:
+                if attempt == _IO_RETRIES - 1:
+                    raise
+                self.device.clock.advance(
+                    self.device.config.write_latency_ns << attempt
+                )
+
+    def _dev_read(self, pno: int, tag: str) -> bytes:
+        """``read_page`` with the same bounded retry-with-backoff."""
+        for attempt in range(_IO_RETRIES):
+            try:
+                return self.device.read_page(pno, tag=tag)
+            except IoError:
+                if attempt == _IO_RETRIES - 1:
+                    raise
+                self.device.clock.advance(
+                    self.device.config.read_latency_ns << attempt
+                )
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
     # layout
     # ------------------------------------------------------------------
 
@@ -179,10 +216,10 @@ class Ext4FileSystem:
             self.journal_start,
             self.journal_blocks,
         ).ljust(self.page_size, b"\x00")
-        self.device.write_page(0, super_block, tag="metadata")
+        self._dev_write(0, super_block, tag="metadata")
         empty = bytes(self.page_size)
         for bno in range(self.itab_start, self.data_start):
-            self.device.write_page(bno, empty, tag="metadata")
+            self._dev_write(bno, empty, tag="metadata")
         self.device.flush()
         self.mount()
 
@@ -197,7 +234,7 @@ class Ext4FileSystem:
         # locations before the ring can be reused; otherwise the next
         # commit at ring position 0 would overwrite the only durable copy.
         for bno in sorted(replayed):
-            self.device.write_page(bno, replayed[bno], tag="metadata")
+            self._dev_write(bno, replayed[bno], tag="metadata")
         if replayed:
             self.device.flush()
         self._pending_home = {}
@@ -363,7 +400,7 @@ class Ext4FileSystem:
             page = self._page_cache.get(key)
             if page is None:
                 if page_idx < len(inode.page_blocks):
-                    raw = self.device.read_page(
+                    raw = self._dev_read(
                         inode.page_blocks[page_idx], tag=f"file:{name}"
                     )
                 else:
@@ -421,7 +458,7 @@ class Ext4FileSystem:
         wrote_data = False
         for key in sorted(k for k in self._dirty_pages if k[0] == ino):
             _ino, page_idx = key
-            self.device.write_page(
+            self._dev_write(
                 inode.page_blocks[page_idx],
                 bytes(self._page_cache[key]),
                 tag=f"file:{name}",
@@ -485,11 +522,11 @@ class Ext4FileSystem:
             _JDESC_FMT, _JMAGIC, _JTYPE_DESC, seq, len(home_blocks)
         ) + b"".join(struct.pack("<I", b) for b in home_blocks)
         jpos = self.journal_start + self._journal_head
-        self.device.write_page(jpos, desc.ljust(self.page_size, b"\x00"), tag="journal")
+        self._dev_write(jpos, desc.ljust(self.page_size, b"\x00"), tag="journal")
         for i, bno in enumerate(home_blocks):
-            self.device.write_page(jpos + 1 + i, images[bno], tag="journal")
+            self._dev_write(jpos + 1 + i, images[bno], tag="journal")
         commit = struct.pack(_JDESC_FMT, _JMAGIC, _JTYPE_COMMIT, seq, 0)
-        self.device.write_page(
+        self._dev_write(
             jpos + 1 + len(home_blocks),
             commit.ljust(self.page_size, b"\x00"),
             tag="journal",
@@ -505,7 +542,7 @@ class Ext4FileSystem:
     def _checkpoint_journal(self) -> None:
         """Write journaled metadata to home locations and reset the ring."""
         for bno in sorted(self._pending_home):
-            self.device.write_page(bno, self._pending_home[bno], tag="metadata")
+            self._dev_write(bno, self._pending_home[bno], tag="metadata")
         if self._pending_home:
             self.device.flush()
         self._pending_home.clear()

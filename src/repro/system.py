@@ -13,7 +13,10 @@ database recovery code can be tested end to end.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.config import SystemConfig, tuna
+from repro.faults import BlockIoFaultInjector, FaultPlan, NvramFaultInjector
 from repro.hw.cache import CacheHierarchy
 from repro.hw.clock import SimClock
 from repro.hw.cpu import Cpu
@@ -50,6 +53,32 @@ class System:
         )
         self.fs = Ext4FileSystem(self.blockdev)
         self.fs.format()
+        self.fault_plan: FaultPlan | None = None
+        self.nvram_faults: NvramFaultInjector | None = None
+        self.io_faults: BlockIoFaultInjector | None = None
+        # Machine-level power state.  Distinct from crash.powered_off: a
+        # controller-fired crash only lands CPU/NVRAM state; the machine
+        # side (eMMC cache, media decay, unmount) completes here.
+        self._machine_off = False
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def inject_faults(self, plan: FaultPlan) -> None:
+        """Install a seeded :class:`FaultPlan` on this machine.
+
+        Media faults take effect at the next power failure (decayed
+        cells are observed on reboot); I/O faults start failing timed
+        block commands immediately.
+        """
+        self.fault_plan = plan
+        if plan.media is not None:
+            self.nvram_faults = NvramFaultInjector(plan.media, plan.seed)
+            self.nvram.fault_injector = self.nvram_faults
+        if plan.io is not None:
+            self.io_faults = BlockIoFaultInjector(plan.io, plan.seed)
+            self.blockdev.fault_injector = self.io_faults
 
     # ------------------------------------------------------------------
     # power-cycle choreography
@@ -61,19 +90,46 @@ class System:
         Volatile CPU-side and device-cache state is probabilistically
         landed and then discarded; durable state is untouched.  Call
         :meth:`reboot` afterwards to bring services back.
+
+        Idempotent: cutting power on a machine that is already off does
+        nothing (see :meth:`CrashController.apply_power_loss`); after a
+        controller-fired crash it completes the machine-level loss
+        (eMMC cache, unmount) without re-landing CPU/NVRAM state.  With a
+        fault plan installed, media decay is applied after the landing
+        lottery, so it corrupts exactly the bytes recovery will read.
         """
-        self.crash.apply_power_loss()
-        self.blockdev.power_fail(self.config.crash_land_probability)
+        self.crash.apply_power_loss()  # no-op if the controller already did
+        if self._machine_off:
+            return
+        self._machine_off = True
+        self.blockdev.power_fail(
+            self.config.crash_land_probability, rng=self.crash.rng
+        )
+        if self.nvram_faults is not None:
+            self.nvram_faults.on_power_loss(self.nvram)
         self.fs._mounted = False
 
-    def reboot(self) -> list[int]:
+    def reboot(
+        self,
+        arm_after_ops: int | None = None,
+        op_filter: Callable[[str], bool] | None = None,
+    ) -> list[int]:
         """Boot the machine after a power failure.
 
         Replays the filesystem journal, re-attaches the NVRAM heap
         namespace, and runs heap recovery (reclaiming pending blocks).
         Returns the addresses of the reclaimed blocks — the database layer
         uses this during its own recovery.
+
+        ``arm_after_ops`` re-arms the crash controller *before* the
+        persistent services come back, so the torture harness can sweep
+        crash points inside heap recovery and WAL recovery itself
+        (crash-during-recovery, Section 4.3's hardest case).
         """
+        self.crash.power_on()
+        self._machine_off = False
+        if arm_after_ops is not None:
+            self.crash.arm(arm_after_ops, op_filter)
         self.fs.mount()
         self.heapo.attach()
         return self.heapo.recover()

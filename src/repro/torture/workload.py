@@ -1,0 +1,117 @@
+"""Seeded workloads for the crash-consistency torture harness.
+
+A workload is a list of *transactions*, each a tuple of keyed-table
+operations (``insert``/``update``/``delete``).  Everything is derived
+from one integer seed, so a failing run can be replayed from nothing
+but its trace file.  The pure-Python model in :func:`model_states`
+computes the expected table contents at every transaction boundary —
+the oracle the torture driver checks recovered databases against.
+"""
+
+from __future__ import annotations
+
+import random
+
+TABLE = "t"
+DDL = f"CREATE TABLE {TABLE} (k INTEGER PRIMARY KEY, v TEXT)"
+
+#: Sentinel for the pre-DDL state: the table does not exist at all.
+NO_TABLE = None
+
+#: RNG stream constants, distinct from the crash/media/IO streams so the
+#: workload shape never correlates with fault placement.
+_WORKLOAD_MUL = 0xB5297A4D
+_WORKLOAD_ADD = 0x68E31DA4
+
+Op = tuple  # (kind, key, value-or-None)
+Txn = tuple  # tuple[Op, ...]
+
+
+def generate_txns(seed: int, op_count: int, txn_size: int = 3) -> tuple[Txn, ...]:
+    """Deterministic workload: ``op_count`` ops grouped into transactions
+    of 1..``txn_size`` ops.
+
+    Inserts target free keys, updates/deletes target live keys, so the
+    SQL semantics match the trivial dict model exactly.  A small key
+    space forces key reuse (insert after delete), which exercises
+    differential logging's full-image-then-diff transitions.
+    """
+    rng = random.Random((seed * _WORKLOAD_MUL + _WORKLOAD_ADD) & 0xFFFFFFFF)
+    key_space = max(8, op_count // 2)
+    live: set[int] = set()
+    ops: list[Op] = []
+    for i in range(op_count):
+        free = [k for k in range(1, key_space + 1) if k not in live]
+        roll = rng.random()
+        if not live or (free and roll < 0.5):
+            k = rng.choice(free)
+            live.add(k)
+            kind = "insert"
+        elif roll < 0.8 or not live:
+            k = rng.choice(sorted(live))
+            kind = "update"
+        else:
+            k = rng.choice(sorted(live))
+            live.discard(k)
+            kind = "delete"
+        value = None
+        if kind != "delete":
+            value = f"s{seed}.{i}." + "x" * rng.randint(4, 24)
+        ops.append((kind, k, value))
+    txns: list[Txn] = []
+    index = 0
+    while index < len(ops):
+        take = rng.randint(1, txn_size)
+        txns.append(tuple(ops[index : index + take]))
+        index += take
+    return tuple(txns)
+
+
+def apply_txn(db, txn: Txn) -> None:
+    """Run one workload transaction against a database."""
+    if len(txn) == 1:
+        _apply_op(db, txn[0])
+        return
+    with db.transaction():
+        for op in txn:
+            _apply_op(db, op)
+
+
+def _apply_op(db, op: Op) -> None:
+    kind, key, value = op
+    if kind == "insert":
+        db.execute(f"INSERT INTO {TABLE} VALUES (?, ?)", (key, value))
+    elif kind == "update":
+        db.execute(f"UPDATE {TABLE} SET v = ? WHERE k = ?", (value, key))
+    elif kind == "delete":
+        db.execute(f"DELETE FROM {TABLE} WHERE k = ?", (key,))
+    else:
+        raise ValueError(f"unknown workload op kind: {kind!r}")
+
+
+def run_workload(db, txns: tuple[Txn, ...]) -> None:
+    """The full scripted run: DDL first (boundary 1), then every
+    transaction (boundaries 2..N)."""
+    db.execute(DDL)
+    for txn in txns:
+        apply_txn(db, txn)
+
+
+def model_states(txns: tuple[Txn, ...]) -> list:
+    """Expected table contents at every transaction boundary.
+
+    ``states[b]`` is the sorted ``(k, v)`` row list after ``b`` committed
+    transactions (the DDL counts as transaction 1); ``states[0]`` is
+    :data:`NO_TABLE`.  A correctly recovered database must match one of
+    these boundary states — anything else is a torn or lost transaction.
+    """
+    states: list = [NO_TABLE, []]
+    rows: dict[int, str] = {}
+    for txn in txns:
+        for kind, key, value in txn:
+            if kind == "delete":
+                rows.pop(key, None)
+            else:
+                rows[key] = value
+        states.append(sorted(rows.items()))
+    return states

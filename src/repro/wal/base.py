@@ -4,11 +4,33 @@ from __future__ import annotations
 
 import abc
 import enum
+from dataclasses import dataclass
 
 from repro.storage.ext4 import File
 
 #: SQLite's default checkpoint threshold: 1000 logged frames.
 DEFAULT_CHECKPOINT_THRESHOLD = 1000
+
+
+@dataclass
+class RecoveryReport:
+    """What one :meth:`WalBackend.recover` pass did with the log.
+
+    ``frames_replayed`` committed frames were applied to page images.
+    ``frames_dropped`` frames were parsed but discarded — the uncommitted
+    tail of an in-flight transaction, plus anything at or past the first
+    invalid frame.  When corruption (bad checksum, invalid commit word,
+    unreadable media) cut the scan short, ``corruption_detected`` is set,
+    ``reason`` says why, and ``frames_salvaged`` records the committed
+    prefix that was kept *despite* the corruption (equal to
+    ``frames_replayed``; zero on a clean log).
+    """
+
+    frames_replayed: int = 0
+    frames_salvaged: int = 0
+    frames_dropped: int = 0
+    corruption_detected: bool = False
+    reason: str = ""
 
 
 class SyncMode(str, enum.Enum):
@@ -31,6 +53,8 @@ class WalBackend(abc.ABC):
     def __init__(self, checkpoint_threshold: int = DEFAULT_CHECKPOINT_THRESHOLD):
         self.checkpoint_threshold = checkpoint_threshold
         self.db_file: File | None = None
+        #: Report of the most recent :meth:`recover` call (None before one).
+        self.last_recovery: RecoveryReport | None = None
 
     def bind(self, db_file: File) -> None:
         """Attach the database file (needed for checkpoint and recovery)."""

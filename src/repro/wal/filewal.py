@@ -20,10 +20,15 @@ from __future__ import annotations
 import struct
 
 from repro.db.pager import EARLY_SPLIT_RESERVE
+from repro.errors import IoError
 from repro.hw.stats import TimeBucket
 from repro.storage.ext4 import Ext4FileSystem, File
 from repro.system import System
-from repro.wal.base import DEFAULT_CHECKPOINT_THRESHOLD, WalBackend
+from repro.wal.base import (
+    DEFAULT_CHECKPOINT_THRESHOLD,
+    RecoveryReport,
+    WalBackend,
+)
 from repro.wal.frames import (
     FILE_HEADER_SIZE,
     decode_file_frame,
@@ -37,6 +42,22 @@ _WAL_HEADER_SIZE = 32
 #: Initial pre-allocation, in log pages, for the optimized variant; doubled
 #: every time the pre-allocated region fills up (Section 5.4).
 _INITIAL_PREALLOC_PAGES = 8
+
+#: fsync attempts before a transient IoError propagates.  The filesystem
+#: already retries individual page commands; this second layer absorbs an
+#: fsync whose *last* page write exhausted the lower budget.
+_FSYNC_RETRIES = 3
+
+
+def _fsync_retry(file: File) -> None:
+    """``fsync`` with bounded retry on transient :class:`IoError`."""
+    for attempt in range(_FSYNC_RETRIES):
+        try:
+            file.fsync()
+            return
+        except IoError:
+            if attempt == _FSYNC_RETRIES - 1:
+                raise
 
 
 class FileWalBackend(WalBackend):
@@ -137,7 +158,7 @@ class FileWalBackend(WalBackend):
             self._frame_index += 1
             self._logged_images[pno] = bytes(image)
         if commit:
-            self.wal_file.fsync()
+            _fsync_retry(self.wal_file)
 
     def _ensure_preallocated(self, needed_bytes: int) -> None:
         """WALDIO-style pre-allocation with doubling (Section 5.4)."""
@@ -158,9 +179,13 @@ class FileWalBackend(WalBackend):
 
     def recover(self) -> dict[int, bytes]:
         """Replay committed frames; position appends after the committed
-        prefix (the stock SQLite WAL recovery algorithm)."""
+        prefix (the stock SQLite WAL recovery algorithm).  The scan stops
+        at the first invalid frame — a corrupt frame mid-log salvages the
+        committed prefix before it, reported in :attr:`last_recovery`."""
         if self.wal_file is None:
             raise RuntimeError("file WAL is not bound (call bind_files)")
+        report = RecoveryReport()
+        self.last_recovery = report
         self._logged_images.clear()
         self._frame_index = 0
         allocated = self.wal_file.allocated_pages()
@@ -169,7 +194,7 @@ class FileWalBackend(WalBackend):
         raw_header = self.wal_file.read(0, _WAL_HEADER_SIZE)
         if len(raw_header) < _WAL_HEADER_SIZE:
             self._write_wal_header()
-            self.wal_file.fsync()
+            _fsync_retry(self.wal_file)
             return {}
         magic, salt, page_size, _flags = struct.unpack_from(
             _WAL_HEADER_FMT, raw_header, 0
@@ -177,7 +202,9 @@ class FileWalBackend(WalBackend):
         if magic != _WAL_MAGIC or page_size != self.system.page_size:
             self._salt += 1
             self._write_wal_header()
-            self.wal_file.fsync()
+            _fsync_retry(self.wal_file)
+            report.corruption_detected = True
+            report.reason = "log header invalid"
             return {}
         self._salt = salt
         content_size = self._content_size()
@@ -191,6 +218,11 @@ class FileWalBackend(WalBackend):
             raw = self.wal_file.read(offset, stride)
             decoded = decode_file_frame(raw, content_size, self._salt)
             if decoded is None:
+                if len(raw) == stride and struct.unpack_from("<I", raw, 8)[0] == self._salt:
+                    # The salt matches the live log but the checksum does
+                    # not: a corrupt frame, not the end of the log.
+                    report.corruption_detected = True
+                    report.reason = "frame checksum mismatch"
                 break
             pno, commit_flag, content = decoded
             image = content.ljust(self.system.page_size, b"\x00")
@@ -202,6 +234,10 @@ class FileWalBackend(WalBackend):
                 committed_index = index
         self._frame_index = committed_index
         self._logged_images = dict(committed)
+        report.frames_replayed = committed_index
+        report.frames_dropped = index - committed_index
+        if report.corruption_detected:
+            report.frames_salvaged = committed_index
         return dict(committed)
 
     # -- checkpoint ----------------------------------------------------------
@@ -216,11 +252,11 @@ class FileWalBackend(WalBackend):
         for pno in pages:
             self.db_file.write((pno - 1) * page_size, self._logged_images[pno])
         if pages:
-            self.db_file.fsync()
+            _fsync_retry(self.db_file)
         self._salt += 1
         self.wal_file.truncate(0)
         self._write_wal_header()
-        self.wal_file.fsync()
+        _fsync_retry(self.wal_file)
         self._frame_index = 0
         self._prealloc_pages = 0
         self._logged_images.clear()

@@ -141,23 +141,40 @@ def encode_nv_frame(frame: NvFrame, checksum_bits: int = FULL_CHECKSUM_BITS) -> 
         frame.offset,
         len(frame.payload),
         checksum,
-        1 if frame.commit else 0,
+        commit_mark_value(checksum) if frame.commit else 0,
         frame.checkpoint_id,
     )
     padded = frame.payload + bytes(_align_up(len(frame.payload), 8) - len(frame.payload))
     return header + padded
 
 
-def commit_mark_bytes(checkpoint_id: int) -> tuple[int, bytes]:
+def commit_mark_value(checksum: int) -> int:
+    """The non-zero 32-bit commit word for a frame with ``checksum``.
+
+    The commit word is derived from the frame's stored checksum (folded to
+    32 bits, low bit forced so it can never be zero) rather than being a
+    constant 1.  A constant flag is one random bit flip away from a
+    *phantom commit* — media decay could mint a committed transaction out
+    of an aborted one.  Binding the word to the checksum means a corrupted
+    commit field is recognizably invalid (neither zero nor the expected
+    word) and recovery salvages up to it instead of replaying garbage.
+    """
+    return ((checksum ^ (checksum >> 32)) & 0xFFFF_FFFF) | 1
+
+
+def commit_mark_bytes(checkpoint_id: int, checksum: int) -> tuple[int, bytes]:
     """(offset within the frame header, 8-byte commit-mark store).
 
-    The commit mark is one flag, but NVRAM guarantees 8-byte atomic writes,
+    The commit mark is one word, but NVRAM guarantees 8-byte atomic writes,
     so it is stored padded to 8 bytes (Section 4.1).  The header layout
     places the commit field on an 8-byte-aligned offset whose atomic unit
     also holds the (unchanged) checkpoint id, so the store stays inside the
-    frame header and rewrites nothing else.
+    frame header and rewrites nothing else.  ``checksum`` is the frame's
+    *stored* (bit-masked) checksum; see :func:`commit_mark_value`.
     """
-    return _NV_COMMIT_OFFSET, struct.pack("<II", 1, checkpoint_id)
+    return _NV_COMMIT_OFFSET, struct.pack(
+        "<II", commit_mark_value(checksum), checkpoint_id
+    )
 
 
 def decode_nv_frame_header(

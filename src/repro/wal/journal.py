@@ -28,7 +28,11 @@ import zlib
 from repro.hw.stats import TimeBucket
 from repro.storage.ext4 import Ext4FileSystem, File
 from repro.system import System
-from repro.wal.base import DEFAULT_CHECKPOINT_THRESHOLD, WalBackend
+from repro.wal.base import (
+    DEFAULT_CHECKPOINT_THRESHOLD,
+    RecoveryReport,
+    WalBackend,
+)
 
 _JOURNAL_MAGIC = 0x524A_4E4C  # "RJNL"
 _HEADER_FMT = "<IIII"  # magic, page_size, record_count, nonce
@@ -121,6 +125,8 @@ class RollbackJournalBackend(WalBackend):
         authoritative state (nothing to install in the page cache)."""
         if self.db_file is None or self.journal_file is None:
             raise RuntimeError("rollback journal is not bound")
+        report = RecoveryReport()
+        self.last_recovery = report
         page_size = self.system.page_size
         raw = self.journal_file.read(0, _HEADER_SIZE)
         if len(raw) < _HEADER_SIZE:
@@ -130,20 +136,29 @@ class RollbackJournalBackend(WalBackend):
         )
         if magic != _JOURNAL_MAGIC or journal_page_size != page_size:
             return {}
-        # hot journal: restore every valid record
+        # hot journal: restore every valid record, salvaging the longest
+        # valid prefix if a record is torn or decayed
         restored: dict[int, bytes] = {}
         offset = _HEADER_SIZE
         record_size = struct.calcsize(_RECORD_HEADER_FMT) + page_size
-        for _ in range(count):
+        for i in range(count):
             record = self.journal_file.read(offset, record_size)
             if len(record) < record_size:
+                report.frames_dropped = count - i
                 break
             pno, checksum, _pad = struct.unpack_from(_RECORD_HEADER_FMT, record, 0)
             image = record[struct.calcsize(_RECORD_HEADER_FMT) :]
             if zlib.crc32(image) != checksum or pno == 0:
-                break  # torn journal tail: journaling stopped mid-write
+                # torn journal tail: journaling stopped mid-write
+                report.corruption_detected = True
+                report.reason = "journal record checksum mismatch"
+                report.frames_dropped = count - i
+                break
             restored[pno] = image
             offset += record_size
+        report.frames_replayed = len(restored)
+        if report.corruption_detected:
+            report.frames_salvaged = len(restored)
         for pno, image in restored.items():
             self.db_file.write((pno - 1) * page_size, image)
         if restored:

@@ -16,7 +16,7 @@ Persistent NVRAM layout::
     log block (Heapo allocation, named "nvwal-blk")
         0   next_block     u64
         8   block_size     u32
-        12  pad            u32
+        12  chain_index    u32  (position in the chain, 0-based)
         16  frames...           (32-byte header + 8-byte-aligned payload)
 
 Scheme naming follows the paper: **E/LS/CS** for eager / lazy / checksum
@@ -29,12 +29,18 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field, replace
 
+from repro.errors import ChecksumError, MediaError
 from repro.hw.stats import TimeBucket
 from repro.nvram.heapo import NvAllocation
 from repro.nvram.persistency import PersistDomain, PersistencyModel
 from repro.nvram.userheap import DEFAULT_BLOCK_SIZE, UserHeap
 from repro.system import System
-from repro.wal.base import DEFAULT_CHECKPOINT_THRESHOLD, SyncMode, WalBackend
+from repro.wal.base import (
+    DEFAULT_CHECKPOINT_THRESHOLD,
+    RecoveryReport,
+    SyncMode,
+    WalBackend,
+)
 from repro.wal.diff import DiffMode, apply_extents, compute_extents
 from repro.wal.frames import (
     FULL_CHECKSUM_BITS,
@@ -42,6 +48,7 @@ from repro.wal.frames import (
     NV_HEADER_SIZE,
     NvFrame,
     commit_mark_bytes,
+    commit_mark_value,
     decode_nv_frame_header,
     encode_nv_frame,
     payload_checksum,
@@ -183,7 +190,14 @@ class NvwalBackend(WalBackend):
         return root
 
     def _read_checkpoint_id(self) -> int:
-        raw = self.cpu.load_free(self._root.addr, _ROOT_SIZE)
+        try:
+            raw = self.cpu.load_free(self._root.addr, _ROOT_SIZE)
+        except MediaError:
+            # Unreadable root: fall back to generation 1.  Every surviving
+            # frame carries a different checkpoint id and is ignored, so
+            # recovery degrades to the checkpointed database image — a
+            # valid (if old) committed prefix.
+            return 1
         magic, ckpt_id, _pad, _first = struct.unpack("<QIIQ", raw)
         return ckpt_id if magic == _ROOT_MAGIC else 1
 
@@ -239,7 +253,11 @@ class NvwalBackend(WalBackend):
 
         # --- commit phase (Algorithm 1 lines 29-36) ---
         if commit:
-            self._write_commit_mark(frame_ptrs[-1][0], explicit)
+            last = frames[-1]
+            checksum = payload_checksum(
+                last.payload, last.page_no, last.offset, self.checksum_bits
+            )
+            self._write_commit_mark(frame_ptrs[-1][0], checksum, explicit)
 
         for frame in frames:
             base = self._logged_images.get(
@@ -247,8 +265,10 @@ class NvwalBackend(WalBackend):
             )
             self._logged_images[frame.page_no] = frame.apply_to(base)
 
-    def _write_commit_mark(self, last_frame_addr: int, explicit: bool) -> None:
-        mark_offset, mark = commit_mark_bytes(self._checkpoint_id)
+    def _write_commit_mark(
+        self, last_frame_addr: int, checksum: int, explicit: bool
+    ) -> None:
+        mark_offset, mark = commit_mark_bytes(self._checkpoint_id, checksum)
         mark_addr = last_frame_addr + mark_offset
         self.cpu.store(mark_addr, mark)
         self.persist_domain.after_store(mark_addr, len(mark))
@@ -304,9 +324,13 @@ class NvwalBackend(WalBackend):
             # "NVWAL LS ... calls Heapo's nvmalloc() for every WAL frame").
             alloc = self.heapo.nvmalloc(need, name=_BLOCK_NAME)
         # Initialize the block header and store the link, then persist both
-        # before the block becomes reachable (lines 8-11).
+        # before the block becomes reachable (lines 8-11).  The header's
+        # third field records the block's position in the chain; recovery
+        # refuses links whose position does not match, so a corrupted
+        # pointer can never splice the walk into the middle of the chain.
         self.cpu.memcpy(
-            alloc.addr, struct.pack("<QII", 0, alloc.size, 0)
+            alloc.addr,
+            struct.pack("<QII", 0, alloc.size, len(self.userheap.blocks)),
         )
         self.cpu.store(self._link_addr, struct.pack("<Q", alloc.addr))
         self.cpu.dmb()
@@ -327,7 +351,15 @@ class NvwalBackend(WalBackend):
 
     def recover(self) -> dict[int, bytes]:
         """Walk the NVRAM log, apply committed transactions, reclaim
-        orphans, and leave the backend positioned for new appends."""
+        orphans, and leave the backend positioned for new appends.
+
+        Salvage semantics: the scan stops at the first frame that fails
+        any validity check (checksum, commit word, unreadable media) and
+        keeps the longest valid committed prefix instead of raising.
+        :attr:`last_recovery` reports what was replayed and dropped.
+        """
+        report = RecoveryReport()
+        self.last_recovery = report
         self._root = self._ensure_root()
         self._checkpoint_id = self._read_checkpoint_id()
         self.userheap.blocks.clear()
@@ -336,8 +368,8 @@ class NvwalBackend(WalBackend):
         self._frame_count = 0
         self._link_addr = self._root.addr + _ROOT_FIRST_BLOCK_OFFSET
 
-        chain = self._walk_chain()
-        committed, tail_position = self._scan_frames(chain)
+        chain = self._walk_chain(report)
+        committed, tail_position = self._scan_frames(chain, report)
 
         # Rebuild volatile allocator state up to the end of committed data.
         reachable = set()
@@ -365,33 +397,69 @@ class NvwalBackend(WalBackend):
 
         # Apply committed transactions over base pages from the db file.
         images: dict[int, bytes] = {}
+        applied = 0
         for frame in committed:
             base = images.get(frame.page_no)
             if base is None:
                 base = self._base_page(frame.page_no)
-            images[frame.page_no] = frame.apply_to(base)
+            try:
+                images[frame.page_no] = frame.apply_to(base)
+            except ChecksumError:
+                # Checksum-valid frames cannot normally fail application;
+                # if one does, keep the prefix applied so far.
+                report.corruption_detected = True
+                report.reason = report.reason or "frame application failed"
+                report.frames_dropped += len(committed) - applied
+                committed = committed[:applied]
+                break
+            applied += 1
         self._logged_images = dict(images)
         self._frame_count = len(committed)
+        report.frames_replayed = len(committed)
+        if report.corruption_detected:
+            report.frames_salvaged = len(committed)
         return images
 
-    def _walk_chain(self) -> list[NvAllocation]:
+    def _walk_chain(self, report: RecoveryReport) -> list[NvAllocation]:
         """Follow the persistent block list, dropping dangling references
         (a crash between linking and set_used_flag leaves the block
-        reclaimed by heap recovery — Section 4.3 case 2)."""
-        raw = self.cpu.load_free(
-            self._root.addr + _ROOT_FIRST_BLOCK_OFFSET, 8
-        )
-        addr = struct.unpack("<Q", raw)[0]
+        reclaimed by heap recovery — Section 4.3 case 2).
+
+        Hardened against media decay: a link is only followed into a live
+        ``nvwal-blk`` allocation whose header carries the expected chain
+        position.  A flipped root or next pointer therefore truncates the
+        chain instead of splicing the walk into the middle of it (which
+        would replay a non-prefix of the log).
+        """
+        try:
+            raw = self.cpu.load_free(
+                self._root.addr + _ROOT_FIRST_BLOCK_OFFSET, 8
+            )
+            addr = struct.unpack("<Q", raw)[0]
+        except MediaError:
+            report.corruption_detected = True
+            report.reason = "root block pointer unreadable"
+            return []
         chain: list[NvAllocation] = []
         seen = set()
         while addr and addr not in seen:
             seen.add(addr)
             alloc = self._live_block_at(addr)
-            if alloc is None:
+            if alloc is None or alloc.name != _BLOCK_NAME:
+                break
+            try:
+                header = self.cpu.load(addr, _BLOCK_HEADER_SIZE)
+            except MediaError:
+                report.corruption_detected = True
+                report.reason = report.reason or "block header unreadable"
+                break
+            next_addr, _size, chain_index = struct.unpack_from("<QII", header, 0)
+            if chain_index != len(chain):
+                report.corruption_detected = True
+                report.reason = report.reason or "chain position mismatch"
                 break
             chain.append(alloc)
-            header = self.cpu.load(addr, _BLOCK_HEADER_SIZE)
-            addr = struct.unpack_from("<Q", header, 0)[0]
+            addr = next_addr
         return chain
 
     def _live_block_at(self, addr: int) -> NvAllocation | None:
@@ -400,16 +468,34 @@ class NvwalBackend(WalBackend):
         return self.heapo.allocation_at(addr)
 
     def _scan_frames(
-        self, chain: list[NvAllocation]
+        self, chain: list[NvAllocation], report: RecoveryReport
     ) -> tuple[list[NvFrame], tuple[int, int] | None]:
         """Parse frames block by block; return the committed prefix and the
-        position (block index, offset) just after the last committed frame."""
+        position (block index, offset) just after the last committed frame.
+
+        The scan stops — keeping what is committed so far — at the first
+        frame whose payload checksum or commit word is invalid, or whose
+        bytes the media refuses to return.  A zero commit word is a normal
+        in-flight frame; any other value must equal the word derived from
+        the frame's checksum (see :func:`commit_mark_value`), so decayed
+        commit fields cannot mint phantom transactions.
+        """
         committed: list[NvFrame] = []
         pending: list[NvFrame] = []
         tail: tuple[int, int] | None = None
+
+        def salvage(reason: str) -> tuple[list[NvFrame], tuple[int, int] | None]:
+            report.corruption_detected = True
+            report.reason = report.reason or reason
+            report.frames_dropped += len(pending)
+            return committed, tail
+
         for block_index, alloc in enumerate(chain):
             pos = _BLOCK_HEADER_SIZE
-            block_bytes = self.cpu.load(alloc.addr, alloc.size)
+            try:
+                block_bytes = self.cpu.load(alloc.addr, alloc.size)
+            except MediaError:
+                return salvage("log block unreadable")
             while pos + NV_HEADER_SIZE <= alloc.size:
                 magic, page_no, offset, size, checksum, ckpt, commit = (
                     decode_nv_frame_header(block_bytes, pos)
@@ -427,7 +513,9 @@ class NvwalBackend(WalBackend):
                 ) != checksum:
                     # Torn frame (or the asynchronous-commit window): the
                     # transaction it belongs to is considered aborted.
-                    return committed, tail
+                    return salvage("frame checksum mismatch")
+                if commit and commit != commit_mark_value(checksum):
+                    return salvage("invalid commit word")
                 pending.append(
                     NvFrame(page_no, offset, payload, ckpt, commit=bool(commit))
                 )
@@ -436,21 +524,28 @@ class NvwalBackend(WalBackend):
                     committed.extend(pending)
                     pending.clear()
                     tail = (block_index, pos)
+        report.frames_dropped += len(pending)
         return committed, tail
 
     def _truncate_chain_after(self, tail_block: NvAllocation) -> None:
         """Free chain blocks past ``tail_block`` and clear its next pointer."""
-        header = self.cpu.load_free(tail_block.addr, _BLOCK_HEADER_SIZE)
+        try:
+            header = self.cpu.load_free(tail_block.addr, _BLOCK_HEADER_SIZE)
+        except MediaError:
+            return
         next_addr = struct.unpack_from("<Q", header, 0)[0]
         if not next_addr:
             return
         self._store_durable_u64(tail_block.addr, 0)
         while next_addr:
             alloc = self._live_block_at(next_addr)
-            if alloc is None:
+            if alloc is None or alloc.name != _BLOCK_NAME:
                 break
-            hdr = self.cpu.load_free(alloc.addr, _BLOCK_HEADER_SIZE)
-            next_addr = struct.unpack_from("<Q", hdr, 0)[0]
+            try:
+                hdr = self.cpu.load_free(alloc.addr, _BLOCK_HEADER_SIZE)
+                next_addr = struct.unpack_from("<Q", hdr, 0)[0]
+            except MediaError:
+                next_addr = 0
             self.heapo.nvfree(alloc)
 
     def _reclaim_orphan_blocks(self, reachable: set[int]) -> None:

@@ -85,6 +85,52 @@ class TestPowerLoss:
             images.append(system.nvram.read(addr, 256))
         assert images[0] == images[1]
 
+    def test_power_loss_idempotent_when_already_off(self):
+        """Cutting power on a dead machine is a no-op: no volatile state
+        can land, and the RNG stream must not be perturbed."""
+        system = durable_system(0.5)
+        addr = scratch(system)
+        system.cpu.memcpy(addr, b"y" * 64)
+        system.crash.apply_power_loss()
+        assert system.crash.powered_off
+        image = system.nvram.read(addr, 64)
+        rng_state = system.crash.rng.getstate()
+        system.crash.apply_power_loss()  # second cut: nothing changes
+        assert system.nvram.read(addr, 64) == image
+        assert system.crash.rng.getstate() == rng_state
+
+    def test_power_on_rearms_power_loss(self):
+        system = durable_system(1.0)
+        addr = scratch(system)
+        system.crash.apply_power_loss()
+        system.crash.power_on()
+        assert not system.crash.powered_off
+        system.cpu.memcpy(addr, b"afterwrd")
+        system.crash.apply_power_loss()
+        assert system.nvram.read(addr, 8) == b"afterwrd"
+
+    def test_system_power_fail_idempotent(self):
+        """system.power_fail() twice in a row behaves like once: the
+        eMMC landing lottery and media decay are not re-drawn."""
+        system = System(tuna(), seed=9)
+        system.fs.create("f").write(0, b"payload")
+        system.power_fail()
+        durable = dict(system.blockdev._durable)
+        rng_state = system.crash.rng.getstate()
+        system.power_fail()
+        assert system.blockdev._durable == durable
+        assert system.crash.rng.getstate() == rng_state
+
+    def test_system_power_fail_completes_controller_crash(self):
+        """After a controller-fired crash (CPU/NVRAM already lost), the
+        system-level power_fail must still drop the eMMC write cache."""
+        system = System(tuna(), seed=9)
+        system.blockdev.write_page(5, b"\xAB" * system.config.page_size)
+        system.crash.apply_power_loss()  # what an armed crash does
+        assert system.blockdev._cache  # page still in the write cache
+        system.power_fail()
+        assert not system.blockdev._cache
+
 
 class TestInjection:
     def test_arm_fires_after_n_ops(self):

@@ -1,0 +1,120 @@
+"""Quarantine of decayed Heapo descriptors at attach time.
+
+Media decay can corrupt a descriptor into an invalid tri-state value, an
+out-of-range extent, a duplicate address claim, or an unreadable slot.
+Attach must quarantine such slots — boot succeeds, every healthy
+allocation survives, and the suspect extent is never handed out again.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro import System, tuna
+from repro.faults.inject import NvramFaultInjector
+from repro.faults.plan import MediaFaultSpec
+from repro.nvram.heapo import (
+    _DESC_FMT,
+    _DESC_SIZE,
+    _SUPERBLOCK_SIZE,
+    BlockState,
+    Heapo,
+)
+
+
+@pytest.fixture
+def system():
+    return System(tuna(), seed=0)
+
+
+def write_desc(nvram, slot, state, size, addr, name=b"x"):
+    nvram.persist(
+        _SUPERBLOCK_SIZE + slot * _DESC_SIZE,
+        struct.pack(_DESC_FMT, state, size, addr, name),
+    )
+
+
+def extents_overlap(a_start, a_size, b_start, b_size):
+    return a_start < b_start + b_size and b_start < a_start + a_size
+
+
+class TestQuarantine:
+    def test_invalid_state_byte_is_quarantined(self, system):
+        heapo = system.heapo
+        alloc = heapo.nvmalloc(4096, name="good")
+        bad = heapo.nvmalloc(4096, name="decayed")
+        write_desc(system.nvram, bad.slot, 7, bad.size, bad.addr)  # state 7: junk
+        heapo.attach()
+        assert heapo.quarantined_slots() == [bad.slot]
+        live = {a.name for a in heapo.live_allocations()}
+        assert "good" in live and "decayed" not in live
+        assert heapo.lookup("good").addr == alloc.addr
+
+    def test_out_of_range_extent_is_quarantined(self, system):
+        heapo = system.heapo
+        bad = heapo.nvmalloc(4096, name="decayed")
+        write_desc(
+            system.nvram,
+            bad.slot,
+            int(BlockState.IN_USE),
+            bad.size,
+            system.nvram.size - 64,  # extent runs past the device end
+        )
+        heapo.attach()
+        assert heapo.quarantined_slots() == [bad.slot]
+
+    def test_duplicate_address_keeps_first_claim(self, system):
+        heapo = system.heapo
+        keep = heapo.nvmalloc(4096, name="keep")
+        dup = heapo.nvmalloc(4096, name="dup")
+        write_desc(
+            system.nvram, dup.slot, int(BlockState.IN_USE), keep.size, keep.addr
+        )
+        heapo.attach()
+        assert heapo.quarantined_slots() == [dup.slot]
+        assert heapo.lookup("keep").addr == keep.addr
+
+    def test_quarantined_extent_is_never_reallocated(self, system):
+        heapo = system.heapo
+        bad = heapo.nvmalloc(8192, name="decayed")
+        write_desc(system.nvram, bad.slot, 9, bad.size, bad.addr)
+        heapo.attach()
+        for _ in range(16):
+            alloc = heapo.nvmalloc(4096, name="new")
+            assert not extents_overlap(alloc.addr, alloc.size, bad.addr, bad.size)
+
+    def test_unreadable_descriptor_is_quarantined(self, system):
+        heapo = system.heapo
+        good = heapo.nvmalloc(4096, name="good")
+        bad = heapo.nvmalloc(4096, name="poisoned")
+        injector = NvramFaultInjector(MediaFaultSpec(), seed=0)
+        injector.poisoned.add(_SUPERBLOCK_SIZE + bad.slot * _DESC_SIZE)
+        system.nvram.fault_injector = injector
+        heapo.attach()
+        assert bad.slot in heapo.quarantined_slots()
+        assert heapo.lookup("good").addr == good.addr
+        assert heapo.lookup("poisoned") is None
+
+    def test_unreadable_superblock_reformats(self, system):
+        heapo = system.heapo
+        heapo.nvmalloc(4096, name="gone")
+        injector = NvramFaultInjector(MediaFaultSpec(), seed=0)
+        injector.poisoned.add(0)  # the superblock's first unit
+        system.nvram.fault_injector = injector
+        reborn = Heapo(system.cpu, system.nvram, num_slots=heapo.num_slots)
+        assert reborn.live_allocations() == []
+        assert reborn.quarantined_slots() == []
+
+    def test_recover_leaves_quarantined_slots_alone(self, system):
+        """Heap recovery reclaims PENDING blocks but must not touch
+        quarantined slots (their durable state is untrustworthy)."""
+        heapo = system.heapo
+        pending = heapo.nv_pre_malloc(4096, name="pending")
+        bad = heapo.nvmalloc(4096, name="decayed")
+        write_desc(system.nvram, bad.slot, 7, bad.size, bad.addr)
+        heapo.attach()
+        reclaimed = heapo.recover()
+        assert pending.addr in reclaimed
+        assert heapo.quarantined_slots() == [bad.slot]

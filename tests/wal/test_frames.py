@@ -11,6 +11,7 @@ from repro.wal.frames import (
     NV_HEADER_SIZE,
     NvFrame,
     commit_mark_bytes,
+    commit_mark_value,
     decode_file_frame,
     decode_nv_frame_header,
     encode_file_frame,
@@ -39,7 +40,8 @@ class TestNvFrames:
         assert frame.stored_size() == NV_HEADER_SIZE + 8
 
     def test_commit_mark_is_8_bytes_aligned(self):
-        offset, mark = commit_mark_bytes(checkpoint_id=5)
+        cks = payload_checksum(b"payload!", 7, 100)
+        offset, mark = commit_mark_bytes(checkpoint_id=5, checksum=cks)
         assert len(mark) == 8
         assert offset % 8 == 0
         assert offset + 8 <= NV_HEADER_SIZE
@@ -47,14 +49,33 @@ class TestNvFrames:
     def test_commit_mark_sets_flag_preserves_rest(self):
         frame = NvFrame(7, 100, b"payload!", 5, commit=False)
         encoded = bytearray(encode_nv_frame(frame))
-        offset, mark = commit_mark_bytes(checkpoint_id=5)
+        cks = payload_checksum(b"payload!", 7, 100)
+        offset, mark = commit_mark_bytes(checkpoint_id=5, checksum=cks)
         encoded[offset : offset + 8] = mark
-        magic, pno, off, size, cks, ckpt, commit = decode_nv_frame_header(
+        magic, pno, off, size, stored, ckpt, commit = decode_nv_frame_header(
             bytes(encoded)
         )
-        assert commit == 1
+        assert commit == commit_mark_value(cks)
         assert ckpt == 5
-        assert cks == payload_checksum(b"payload!", 7, 100)
+        assert stored == cks
+
+    def test_commit_mark_value_never_zero(self):
+        assert commit_mark_value(0) == 1
+        for cks in (1, 0xFFFF_FFFF, 0xDEAD_BEEF_CAFE_F00D, 1 << 63):
+            value = commit_mark_value(cks)
+            assert value != 0
+            assert 0 < value <= 0xFFFF_FFFF
+
+    def test_commit_mark_bound_to_checksum(self):
+        a = commit_mark_value(payload_checksum(b"one", 1, 0))
+        b = commit_mark_value(payload_checksum(b"two", 1, 0))
+        assert a != b
+
+    def test_encoded_commit_frame_carries_bound_word(self):
+        frame = NvFrame(4, 0, b"payload!", 2, commit=True)
+        encoded = encode_nv_frame(frame)
+        *_, cks, _ckpt, commit = decode_nv_frame_header(encoded)
+        assert commit == commit_mark_value(cks)
 
     def test_checksum_bound_to_page_and_offset(self):
         assert payload_checksum(b"x", 1, 0) != payload_checksum(b"x", 2, 0)

@@ -1,0 +1,204 @@
+"""Salvage recovery: a corrupted log yields the longest valid committed
+prefix instead of an exception or replayed garbage.
+
+Covers all three log formats: NVWAL frames in NVRAM, SQLite-style file
+WAL frames, and rollback-journal undo records.
+"""
+
+import struct
+
+from repro import System, tuna
+from repro.faults.inject import NvramFaultInjector
+from repro.faults.plan import MediaFaultSpec
+from repro.wal.frames import (
+    FILE_HEADER_SIZE,
+    NV_FRAME_MAGIC,
+    NV_HEADER_SIZE,
+    commit_mark_bytes,
+    commit_mark_value,
+    decode_nv_frame_header,
+)
+from repro.wal.journal import RollbackJournalBackend
+from repro.wal.nvwal import _BLOCK_HEADER_SIZE, _align8
+from tests.conftest import make_file_db, make_nvwal_db
+
+DDL = "CREATE TABLE t (k INTEGER PRIMARY KEY, v TEXT)"
+N_ROWS = 6
+
+
+def nv_frames(wal):
+    """[(frame_addr, payload_size, committed)] for every frame in the log,
+    parsed exactly the way recovery parses it."""
+    frames = []
+    for alloc in wal.userheap.blocks:
+        raw = wal.system.nvram.read(alloc.addr, alloc.size)
+        pos = _BLOCK_HEADER_SIZE
+        while pos + NV_HEADER_SIZE <= alloc.size:
+            magic, _pno, _off, size, _ck, ckpt, commit = decode_nv_frame_header(
+                raw, pos
+            )
+            if magic != NV_FRAME_MAGIC or ckpt != wal._checkpoint_id:
+                break
+            if pos + NV_HEADER_SIZE + _align8(size) > alloc.size:
+                break
+            frames.append((alloc.addr + pos, size, bool(commit)))
+            pos += NV_HEADER_SIZE + _align8(size)
+    return frames
+
+
+def build_nvwal(seed=11, rows=N_ROWS):
+    """A fresh system plus an NVWAL database holding the DDL and ``rows``
+    committed single-insert transactions (no checkpoints)."""
+    system = System(tuna(), seed=seed)
+    db = make_nvwal_db(system, name="salv.db")
+    db.execute(DDL)
+    for j in range(rows):
+        db.execute("INSERT INTO t VALUES (?, ?)", (j, f"v{j}"))
+    return system, db
+
+
+def reopen(system):
+    system.power_fail()
+    system.reboot()
+    return make_nvwal_db(system, name="salv.db")
+
+
+class TestNvwalSalvage:
+    def test_payload_bit_flip_salvages_exact_prefix_at_every_frame(self):
+        """Flip one payload bit in each frame position in turn; recovery
+        must keep exactly the transactions committed before that frame."""
+        _, db = build_nvwal()
+        n_frames = len(nv_frames(db.wal))
+        assert n_frames > N_ROWS  # at least one frame per transaction
+
+        for i in range(n_frames):
+            system, db = build_nvwal()  # same seed: identical layout
+            frames = nv_frames(db.wal)
+            addr, size, _commit = frames[i]
+            assert size > 0
+            payload_addr = addr + NV_HEADER_SIZE
+            byte = system.nvram.read(payload_addr, 1)[0]
+            system.nvram.persist(payload_addr, bytes([byte ^ 0x01]))
+
+            commits_before = [j for j, (_, _, c) in enumerate(frames[:i]) if c]
+            committed_txns = len(commits_before)
+            replayed = commits_before[-1] + 1 if commits_before else 0
+
+            db2 = reopen(system)
+            report = db2.wal.last_recovery
+            assert report.corruption_detected
+            assert report.reason == "frame checksum mismatch"
+            assert report.frames_replayed == replayed
+            assert report.frames_salvaged == replayed
+            assert report.frames_dropped == i - replayed
+            if committed_txns == 0:
+                assert not db2.table_exists("t")
+            else:
+                # txn 0 is the DDL; txn j+1 inserted row j
+                assert sorted(db2.dump_table("t")) == [
+                    (j, f"v{j}") for j in range(committed_txns - 1)
+                ]
+
+    def test_corrupt_commit_word_drops_the_last_transaction(self):
+        """A commit word that is neither zero nor the checksum-derived mark
+        is corruption, not a commit — the transaction must not replay."""
+        system, db = build_nvwal()
+        frames = nv_frames(db.wal)
+        addr, _size, commit = [f for f in frames if f[2]][-1]
+        assert commit
+        raw = system.nvram.read(addr, NV_HEADER_SIZE)
+        _, _, _, _, checksum, ckpt, word = decode_nv_frame_header(raw, 0)
+        mark_offset, _ = commit_mark_bytes(ckpt, checksum)
+        bad = word ^ 0x6  # non-zero, and not the expected mark
+        assert bad and bad != commit_mark_value(checksum)
+        system.nvram.persist(addr + mark_offset, struct.pack("<II", bad, ckpt))
+
+        db2 = reopen(system)
+        report = db2.wal.last_recovery
+        assert report.corruption_detected
+        assert report.reason == "invalid commit word"
+        assert sorted(db2.dump_table("t")) == [
+            (j, f"v{j}") for j in range(N_ROWS - 1)
+        ]
+
+    def test_unreadable_log_block_boots_and_stays_writable(self):
+        """A poisoned (ECC-uncorrectable) unit inside a log block ends the
+        scan there; the database still boots and accepts new writes."""
+        system, db = build_nvwal()
+        frames = nv_frames(db.wal)
+        first_frame_addr = frames[0][0]
+        injector = NvramFaultInjector(MediaFaultSpec(), seed=0)
+        injector.poisoned.add(first_frame_addr - first_frame_addr % 8)
+        system.nvram.fault_injector = injector
+
+        db2 = reopen(system)
+        report = db2.wal.last_recovery
+        assert report.corruption_detected
+        assert report.reason == "log block unreadable"
+        assert report.frames_replayed == 0
+        assert not db2.table_exists("t")
+        db2.execute(DDL)
+        db2.execute("INSERT INTO t VALUES (?, ?)", (1, "post"))
+        assert db2.dump_table("t") == [(1, "post")]
+
+
+class TestFileWalSalvage:
+    def test_corrupt_frame_salvages_committed_prefix(self):
+        system = System(tuna(), seed=3)
+        db = make_file_db(system, name="salv.db")
+        db.execute(DDL)
+        for j in range(5):
+            db.execute("INSERT INTO t VALUES (?, ?)", (j, f"v{j}"))
+        last_frame = db.wal._frame_index - 1  # the final commit frame
+        corrupt_at = db.wal._frame_offset(last_frame) + FILE_HEADER_SIZE + 7
+
+        system.power_fail()
+        system.reboot()
+        wal_file = system.fs.open("salv.db-wal")
+        byte = wal_file.read(corrupt_at, 1)[0]
+        wal_file.write(corrupt_at, bytes([byte ^ 0x10]))
+        wal_file.fsync()
+
+        db2 = make_file_db(system, name="salv.db")
+        report = db2.wal.last_recovery
+        assert report.corruption_detected
+        assert report.reason == "frame checksum mismatch"
+        assert report.frames_salvaged == report.frames_replayed > 0
+        assert sorted(db2.dump_table("t")) == [
+            (j, f"v{j}") for j in range(4)
+        ]
+
+
+class TestJournalSalvage:
+    def test_torn_record_rolls_back_the_valid_prefix(self):
+        system = System(tuna(), seed=4)
+        page_size = system.config.page_size
+        fs = system.fs
+        db_file = fs.create("j.db")
+        orig1, orig2 = b"\x11" * page_size, b"\x22" * page_size
+        db_file.write(0, orig1)
+        db_file.write(page_size, orig2)
+        db_file.fsync()
+        backend = RollbackJournalBackend(system)
+        backend.bind_files(db_file, fs, "j.db-journal")
+
+        # The transaction stalls after journaling its undo images but
+        # before its commit point: the journal is hot with two records.
+        backend.write_transaction(
+            {1: b"\x33" * page_size, 2: b"\x44" * page_size},
+            commit=False,
+            pre_images={1: orig1, 2: orig2},
+        )
+        record_size = 12 + page_size  # record header + page image
+        corrupt_at = 32 + record_size + 12 + 100  # inside record 2's image
+        byte = backend.journal_file.read(corrupt_at, 1)[0]
+        backend.journal_file.write(corrupt_at, bytes([byte ^ 0x01]))
+
+        restored = backend.recover()
+        report = backend.last_recovery
+        assert set(restored) == {1}
+        assert report.corruption_detected
+        assert report.reason == "journal record checksum mismatch"
+        assert report.frames_replayed == 1
+        assert report.frames_dropped == 1
+        assert db_file.read(0, page_size) == orig1
