@@ -187,7 +187,14 @@ class BTree:
         otherwise a duplicate raises :class:`DuplicateKey`.
         """
         stored, flags = self._spill_if_needed(payload)
-        split = self._insert_rec(self.root, key, stored, replace, flags)
+        try:
+            split = self._insert_rec(self.root, key, stored, replace, flags)
+        except DuplicateKey:
+            # The chain is written before the duplicate is discovered;
+            # reclaim it or the pages leak (visible to page accounting).
+            if flags & CELL_FLAG_OVERFLOW:
+                self._free_overflow_chain(stored)
+            raise
         if split is not None:
             self._grow_root(*split)
 
@@ -464,6 +471,30 @@ class BTree:
             self._check_rec(page.interior_child(i), bound, page.cell_key(i))
             bound = page.cell_key(i)
         self._check_rec(page.aux, bound, hi)
+
+    def pages(self):
+        """Yield every page number the tree owns — interior, leaf, and
+        overflow-chain pages — each exactly once.  Page-accounting checks
+        partition the file into tree pages, freelist pages, and the
+        header; anything unclaimed is a leak."""
+        yield from self._pages_rec(self.root)
+
+    def _pages_rec(self, pno: int):
+        yield pno
+        page = self._page(pno)
+        if page.is_leaf:
+            for i in range(page.n_cells):
+                if page.leaf_flags(i) & CELL_FLAG_OVERFLOW:
+                    opno, _total = _OVERFLOW_STUB.unpack(page.leaf_payload(i))
+                    while opno:
+                        yield opno
+                        opno, _length = _OVERFLOW_HEADER.unpack_from(
+                            self.pager.get_page(opno), 0
+                        )
+        else:
+            for i in range(page.n_cells):
+                yield from self._pages_rec(page.interior_child(i))
+            yield from self._pages_rec(page.aux)
 
     def depth(self) -> int:
         """Height of the tree (1 = root is a leaf)."""

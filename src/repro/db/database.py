@@ -307,6 +307,11 @@ class Database:
     # introspection used by tests and benchmarks
     # ------------------------------------------------------------------
 
+    @property
+    def in_transaction(self) -> bool:
+        """Whether an explicit transaction is open."""
+        return self._in_explicit_txn
+
     def row_count(self, name: str) -> int:
         """Number of rows in table ``name``."""
         return self.table_tree(self.table(name)).count()
@@ -316,6 +321,76 @@ class Database:
         used to assert scheme equivalence)."""
         info = self.table(name)
         return [decode_row(payload) for _k, payload in self.table_tree(info).scan()]
+
+    def dump_all(self) -> dict[str, list[tuple]]:
+        """Decoded rows of every table, keyed by table name."""
+        return {name: self.dump_table(name) for name in self.table_names()}
+
+    def dump_all_raw(self) -> dict[str, list[tuple[int, bytes]]]:
+        """Raw ``(key, payload-bytes)`` pairs of every table.
+
+        Page layouts legitimately differ across WAL schemes (early-split
+        pagers pack fewer cells per page), but row *encodings* must not:
+        this is the bit-for-bit surface the scheme-equivalence oracle
+        compares."""
+        out: dict[str, list[tuple[int, bytes]]] = {}
+        for name in self.table_names():
+            tree = self.table_tree(self.table(name))
+            out[name] = [(k, bytes(p)) for k, p in tree.scan()]
+        return out
+
+    def schema_signature(self) -> list[tuple]:
+        """Logical schema, excluding physical details (root page numbers
+        may differ across backends after identical histories)."""
+        out = []
+        for name in self.table_names():
+            info = self.table(name)
+            out.append(
+                (
+                    name,
+                    info.key_index,
+                    tuple(
+                        (c.name, c.type, c.primary_key) for c in info.columns
+                    ),
+                )
+            )
+        return out
+
+    def check_integrity(self) -> None:
+        """Structural self-check: B-tree invariants for the catalog and
+        every table, plus page accounting — the header page, every tree
+        page (overflow chains included), and the freelist must partition
+        ``1..n_pages`` exactly.  A page claimed twice is corruption; a
+        page claimed never is a leak.  Raises :class:`DatabaseError`."""
+        from repro.errors import PageError
+
+        claims: dict[int, str] = {1: "header"}
+
+        def claim(pno: int, owner: str) -> None:
+            if pno in claims:
+                raise DatabaseError(
+                    f"page {pno} claimed by both {claims[pno]} and {owner}"
+                )
+            claims[pno] = owner
+
+        try:
+            if self.pager.catalog_root != 0:
+                catalog = self._catalog_tree()
+                catalog.check_invariants()
+                for pno in catalog.pages():
+                    claim(pno, "catalog")
+            for name in self.table_names():
+                tree = self.table_tree(self.table(name))
+                tree.check_invariants()
+                for pno in tree.pages():
+                    claim(pno, f"table {name}")
+            for pno in self.pager.free_pages():
+                claim(pno, "freelist")
+        except PageError as exc:
+            raise DatabaseError(f"integrity check failed: {exc}") from exc
+        missing = set(range(1, self.pager.n_pages + 1)) - set(claims)
+        if missing:
+            raise DatabaseError(f"leaked pages (unclaimed): {sorted(missing)}")
 
 
 def _encode_columns(columns: tuple[ast.ColumnDef, ...]) -> str:

@@ -194,6 +194,25 @@ class Pager:
         struct.pack_into("<I", page, 0, self.freelist_head)
         self._set_header_field(3, pno)
 
+    def free_pages(self) -> list[int]:
+        """Walk the freelist and return every free page number.
+
+        Raises :class:`PageError` on a cycle or an out-of-range link —
+        a corrupt freelist would otherwise loop forever or hand out
+        pages the file does not have."""
+        seen: set[int] = set()
+        order: list[int] = []
+        pno = self.freelist_head
+        while pno:
+            if pno in seen:
+                raise PageError(f"freelist cycle at page {pno}")
+            if not 1 < pno <= self.n_pages:
+                raise PageError(f"freelist links to invalid page {pno}")
+            seen.add(pno)
+            order.append(pno)
+            pno = struct.unpack_from("<I", self.get_page(pno), 0)[0]
+        return order
+
     # ------------------------------------------------------------------
     # transactions
     # ------------------------------------------------------------------

@@ -100,6 +100,7 @@ class Executor:
     def _select(self, stmt: ast.Select, params: tuple) -> list[tuple]:
         table = self.db.table(stmt.table)
         names = [c.name for c in table.columns]
+        _validate_expr(stmt.where, names, params)
         rows = list(self._matching_rows(table, stmt.where, params))
         if stmt.aggregate is not None:
             return [self._aggregate(stmt.aggregate, names, rows)]
@@ -107,8 +108,10 @@ class Executor:
             if stmt.order_by not in names:
                 raise SqlError(f"unknown ORDER BY column {stmt.order_by!r}")
             idx = names.index(stmt.order_by)
+            # SQLite sorts NULLs first ascending (NULL is the smallest
+            # storage class), hence last when descending.
             rows.sort(
-                key=lambda kv: (kv[1][idx] is None, kv[1][idx]),
+                key=lambda kv: (kv[1][idx] is not None, kv[1][idx]),
                 reverse=stmt.descending,
             )
         if stmt.limit is not None:
@@ -157,9 +160,11 @@ class Executor:
     def _update(self, stmt: ast.Update, params: tuple) -> int:
         table = self.db.table(stmt.table)
         names = [c.name for c in table.columns]
-        for name, _expr in stmt.assignments:
+        for name, expr in stmt.assignments:
             if name not in names:
                 raise SqlError(f"unknown column {name!r}")
+            _validate_expr(expr, names, params)
+        _validate_expr(stmt.where, names, params)
         tree = self.db.table_tree(table)
         matches = list(self._matching_rows(table, stmt.where, params))
         count = 0
@@ -185,6 +190,9 @@ class Executor:
 
     def _delete(self, stmt: ast.Delete, params: tuple) -> int:
         table = self.db.table(stmt.table)
+        _validate_expr(
+            stmt.where, [c.name for c in table.columns], params
+        )
         tree = self.db.table_tree(table)
         keys = [key for key, _ in self._matching_rows(table, stmt.where, params)]
         for key in keys:
@@ -273,7 +281,52 @@ def _is_constant(expr: ast.Expr) -> bool:
 
 
 def _truthy(value) -> bool:
-    return bool(value) and value is not None
+    """Collapse SQL three-valued logic to a WHERE decision: a row is kept
+    only when the predicate is true — both false and NULL reject it."""
+    return value is not None and bool(value)
+
+
+def _validate_expr(expr: ast.Expr | None, names: list[str], params: tuple):
+    """Bind-time checks, matching SQLite's prepare step: unknown columns
+    and missing parameters are errors even when no row is ever scanned
+    (e.g. the table is empty), so error behaviour cannot depend on data."""
+    if expr is None:
+        return
+    if isinstance(expr, ast.Column):
+        if expr.name not in names:
+            raise SqlError(f"unknown column {expr.name!r}")
+    elif isinstance(expr, ast.Param):
+        if expr.index >= len(params):
+            raise SqlError(
+                f"statement has parameter ?{expr.index + 1} but only "
+                f"{len(params)} values were supplied"
+            )
+    elif isinstance(expr, ast.UnaryOp):
+        _validate_expr(expr.operand, names, params)
+    elif isinstance(expr, ast.BinOp):
+        _validate_expr(expr.left, names, params)
+        _validate_expr(expr.right, names, params)
+
+
+#: SQLite storage-class ordering: NULL < numeric < TEXT < BLOB.  NULL is
+#: handled by the three-valued-logic short circuit before ranking.
+_STORAGE_RANK = {int: 1, float: 1, bool: 1, str: 2, bytes: 3}
+
+
+def _cmp_values(left, right) -> int:
+    """Three-way compare under SQLite storage-class ordering.
+
+    Values of different storage classes never compare equal; the class
+    rank alone decides (any number < any text < any blob).  Within a
+    class, Python's ordering matches SQLite's (numeric comparison,
+    memcmp for text/blob given our byte-for-byte encodings)."""
+    lrank = _STORAGE_RANK[type(left)]
+    rrank = _STORAGE_RANK[type(right)]
+    if lrank != rrank:
+        return -1 if lrank < rrank else 1
+    if left == right:
+        return 0
+    return -1 if left < right else 1
 
 
 def _eval(expr: ast.Expr, row: dict | None, params: tuple):
@@ -296,7 +349,8 @@ def _eval(expr: ast.Expr, row: dict | None, params: tuple):
     if isinstance(expr, ast.UnaryOp):
         value = _eval(expr.operand, row, params)
         if expr.op == "NOT":
-            return not _truthy(value)
+            # Three-valued logic: NOT NULL is NULL.
+            return None if value is None else not _truthy(value)
         if expr.op == "-":
             return -value if value is not None else None
         raise SqlError(f"unknown unary operator {expr.op}")
@@ -307,36 +361,45 @@ def _eval(expr: ast.Expr, row: dict | None, params: tuple):
 
 def _eval_binop(expr: ast.BinOp, row: dict | None, params: tuple):
     op = expr.op
-    if op == "AND":
-        return _truthy(_eval(expr.left, row, params)) and _truthy(
-            _eval(expr.right, row, params)
-        )
-    if op == "OR":
-        return _truthy(_eval(expr.left, row, params)) or _truthy(
-            _eval(expr.right, row, params)
-        )
+    if op in ("AND", "OR"):
+        # Three-valued logic with short circuit: false dominates AND,
+        # true dominates OR, NULL propagates otherwise.
+        left = _eval(expr.left, row, params)
+        lval = None if left is None else _truthy(left)
+        if op == "AND" and lval is False:
+            return False
+        if op == "OR" and lval is True:
+            return True
+        right = _eval(expr.right, row, params)
+        rval = None if right is None else _truthy(right)
+        if op == "AND":
+            if rval is False:
+                return False
+            return None if None in (lval, rval) else True
+        if rval is True:
+            return True
+        return None if None in (lval, rval) else False
     left = _eval(expr.left, row, params)
     if op == "IS NULL":
         return left is None
     right = _eval(expr.right, row, params)
     if op in ("=", "!=", "<", ">", "<=", ">="):
+        # Comparing anything with NULL yields NULL (never true/false).
         if left is None or right is None:
-            return False
-        try:
-            return {
-                "=": left == right,
-                "!=": left != right,
-                "<": left < right,
-                ">": left > right,
-                "<=": left <= right,
-                ">=": left >= right,
-            }[op]
-        except TypeError:
-            raise SqlError(
-                f"cannot compare {type(left).__name__} with {type(right).__name__}"
-            ) from None
+            return None
+        c = _cmp_values(left, right)
+        return {
+            "=": c == 0,
+            "!=": c != 0,
+            "<": c < 0,
+            ">": c > 0,
+            "<=": c <= 0,
+            ">=": c >= 0,
+        }[op]
     if left is None or right is None:
         return None
+    if isinstance(left, (str, bytes)) or isinstance(right, (str, bytes)):
+        raise SqlError(f"cannot apply {op} to non-numeric operands")
     if op == "+":
         return left + right
     if op == "-":
@@ -344,7 +407,12 @@ def _eval_binop(expr: ast.BinOp, row: dict | None, params: tuple):
     if op == "*":
         return left * right
     if op == "/":
+        # SQLite: division by zero is NULL, and integer division
+        # truncates toward zero (-7/2 = -3, not floor's -4).
         if right == 0:
-            raise SqlError("division by zero")
-        return left / right if isinstance(left, float) or isinstance(right, float) else left // right
+            return None
+        if isinstance(left, float) or isinstance(right, float):
+            return left / right
+        q = abs(left) // abs(right)
+        return -q if (left < 0) != (right < 0) else q
     raise SqlError(f"unknown operator {op}")

@@ -1,0 +1,221 @@
+"""Executor adapters and outcome comparison for the differential fuzzer.
+
+Four executors run every statement: real SQLite (stdlib :mod:`sqlite3`
+on a WAL-mode file database) as ground truth, and the repro
+:class:`~repro.db.database.Database` on each WAL backend.  Each adapter
+normalizes a statement's result into an :class:`Outcome` — canonical
+rows, an affected-row count, plain success, or an error *class* — and
+:func:`compare_outcomes` decides whether two outcomes agree under the
+statement's comparison kind.
+
+Error classes, not messages, are the comparison unit: the engines word
+their errors differently, but a statement that is a constraint
+violation in one engine must be a constraint violation in the other.
+SQLite exceptions are mapped onto the same taxonomy the repro engine
+carries as ``ReproError.category``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+#: Canonical value tags; also the comparison rank (SQLite storage-class
+#: order: NULL < numeric < TEXT < BLOB).
+_NULL, _NUMERIC, _TEXT, _BLOB = 0, 1, 2, 3
+
+
+def canon_value(value) -> tuple:
+    """(rank, typename, value) — typed so int 2 and float 2.0 differ."""
+    if value is None:
+        return (_NULL, "null", None)
+    if isinstance(value, bool):
+        return (_NUMERIC, "int", int(value))
+    if isinstance(value, int):
+        return (_NUMERIC, "int", value)
+    if isinstance(value, float):
+        return (_NUMERIC, "float", value)
+    if isinstance(value, str):
+        return (_TEXT, "text", value)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return (_BLOB, "blob", bytes(value))
+    return (9, type(value).__name__, repr(value))
+
+
+def canon_row(row) -> tuple:
+    return tuple(canon_value(v) for v in row)
+
+
+def value_sort_key(cv: tuple):
+    """Total deterministic order over canonical values: storage-class
+    rank first, then the value (int and float inter-compare numerically),
+    then the typename so 2 and 2.0 order deterministically."""
+    rank, tname, value = cv
+    if rank == _NULL:
+        return (0, 0, "")
+    return (rank, value, tname)
+
+
+def row_sort_key(crow: tuple):
+    return tuple(value_sort_key(cv) for cv in crow)
+
+
+@dataclass
+class Outcome:
+    """One executor's result for one statement."""
+
+    status: str  # "rows" | "count" | "ok" | "error"
+    rows: list = field(default_factory=list)  # canonical rows, engine order
+    count: int = 0
+    error: str | None = None  # error class when status == "error"
+    detail: str = ""  # human-readable message; never compared
+
+
+def compare_outcomes(
+    kind: str, oracle: Outcome, other: Outcome, ordered: bool = False
+) -> str | None:
+    """Mismatch description, or None if the outcomes agree for ``kind``.
+
+    SELECT rows compare as multisets unless ``ordered`` (the statement
+    pinned a total order via ORDER BY the primary key), in which case
+    they must match row for row.
+    """
+    if (oracle.status == "error") != (other.status == "error"):
+        if oracle.status == "error":
+            return f"oracle error [{oracle.error}] but engine succeeded"
+        return f"engine error [{other.error}] ({other.detail}) but oracle succeeded"
+    if oracle.status == "error":
+        if oracle.error != other.error:
+            return f"error class {other.error} != oracle {oracle.error}"
+        return None
+    if kind == "select":
+        if ordered:
+            if other.rows != oracle.rows:
+                return (
+                    f"ordered result differs: engine {len(other.rows)} "
+                    f"row(s), oracle {len(oracle.rows)} row(s)"
+                )
+            return None
+        ours = sorted((row_sort_key(r), r) for r in other.rows)
+        theirs = sorted((row_sort_key(r), r) for r in oracle.rows)
+        if ours != theirs:
+            return (
+                f"result multiset differs: engine {len(other.rows)} row(s), "
+                f"oracle {len(oracle.rows)} row(s)"
+            )
+        return None
+    if kind == "write":
+        if oracle.count != other.count:
+            return f"rowcount {other.count} != oracle {oracle.count}"
+        return None
+    return None  # ddl / txn / checkpoint: both succeeded
+
+
+def rows_sorted(rows: list, index: int, descending: bool) -> bool:
+    """Whether canonical ``rows`` are sorted on column ``index`` under
+    SQLite ordering (NULLs are the smallest storage class)."""
+    keys = [value_sort_key(row[index]) for row in rows]
+    return keys == sorted(keys, reverse=descending)
+
+
+# ----------------------------------------------------------------------
+# SQLite ground truth
+# ----------------------------------------------------------------------
+
+
+def classify_sqlite(exc: sqlite3.Error) -> str:
+    """Map a sqlite3 exception onto the repro error taxonomy."""
+    if isinstance(exc, sqlite3.IntegrityError):
+        return "constraint"
+    if isinstance(exc, sqlite3.ProgrammingError):
+        return "sql"  # e.g. wrong number of bindings
+    message = str(exc).lower()
+    if "no such table" in message or "already exists" in message:
+        return "schema"
+    if "no such column" in message or "syntax error" in message:
+        return "sql"
+    if "transaction" in message:
+        return "txn"
+    return "db"
+
+
+class SqliteOracle:
+    """Real SQLite in WAL mode on a file database."""
+
+    label = "sqlite"
+
+    def __init__(self, path: str) -> None:
+        self.con = sqlite3.connect(path)
+        self.con.isolation_level = None  # explicit BEGIN/COMMIT only
+        self.con.execute("PRAGMA journal_mode=WAL")
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.con.in_transaction
+
+    def execute(self, stmt) -> Outcome:
+        sql = stmt.sql
+        if stmt.kind == "checkpoint":
+            sql = "PRAGMA wal_checkpoint(PASSIVE)"
+        try:
+            cur = self.con.execute(sql, stmt.params)
+        except sqlite3.Error as exc:
+            return Outcome("error", error=classify_sqlite(exc), detail=str(exc))
+        if stmt.kind == "select":
+            return Outcome("rows", rows=[canon_row(r) for r in cur.fetchall()])
+        if stmt.kind == "write":
+            return Outcome("count", count=cur.rowcount)
+        return Outcome("ok")
+
+    def dump_logical(self) -> dict:
+        """{table: sorted canonical rows} for the final-state compare."""
+        tables = [
+            name
+            for (name,) in self.con.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        ]
+        out = {}
+        for name in sorted(tables):
+            rows = [canon_row(r) for r in self.con.execute(f"SELECT * FROM {name}")]
+            out[name] = sorted(rows, key=row_sort_key)
+        return out
+
+    def close(self) -> None:
+        self.con.close()
+
+
+# ----------------------------------------------------------------------
+# repro engine
+# ----------------------------------------------------------------------
+
+
+class ReproExecutor:
+    """One repro Database on one WAL backend, behind the same interface."""
+
+    def __init__(self, label: str, db) -> None:
+        self.label = label
+        self.db = db
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.db.in_transaction
+
+    def execute(self, stmt) -> Outcome:
+        try:
+            result = self.db.execute(stmt.sql, stmt.params)
+        except ReproError as exc:
+            return Outcome("error", error=exc.category, detail=str(exc))
+        if stmt.kind == "select":
+            return Outcome("rows", rows=[canon_row(r) for r in result])
+        if stmt.kind == "write":
+            return Outcome("count", count=result if isinstance(result, int) else 0)
+        return Outcome("ok")
+
+    def dump_logical(self) -> dict:
+        out = {}
+        for name, rows in self.db.dump_all().items():
+            out[name] = sorted((canon_row(r) for r in rows), key=row_sort_key)
+        return out

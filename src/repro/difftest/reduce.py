@@ -1,0 +1,48 @@
+"""Statement-level reduction of failing streams.
+
+Built on the shared :mod:`repro.shrink` engine (the same one the
+torture-trace minimizer uses).  The failure signature is the *set of
+finding kinds* — a shrink is kept only while at least one original kind
+still fires, so a reduction cannot drift from a wrong-result divergence
+to, say, an unrelated error-class mismatch.
+
+Two passes, cheapest first:
+
+1. truncate everything after the first diverging statement (on a
+   100-statement stream this alone usually removes most of the work);
+2. chunked greedy deletion down to single statements.
+
+The runner auto-commits a dangling transaction before its end-of-stream
+checks, so candidates that lose their COMMIT (or BEGIN) stay runnable —
+an unbalanced transaction statement just fails identically in all four
+executors, which is not a divergence.
+"""
+
+from __future__ import annotations
+
+from repro.difftest.grammar import Stmt
+from repro.difftest.runner import Finding, run_stream
+from repro.shrink import shrink_sequence, shrink_to_prefix
+
+
+def finding_kinds(findings: list[Finding]) -> frozenset:
+    return frozenset(f.kind for f in findings)
+
+
+def minimize_stream(stmts: list[Stmt], run=None) -> list[Stmt]:
+    """Shrink ``stmts`` while preserving at least one original finding
+    kind.  ``run`` maps a stream to findings (defaults to
+    :func:`run_stream`; tests inject cheaper runners)."""
+    run = run or run_stream
+    baseline = run(stmts)
+    kinds = finding_kinds(baseline)
+    if not kinds:
+        raise ValueError("stream does not fail; nothing to minimize")
+
+    def still_fails(candidate: list[Stmt]) -> bool:
+        return bool(finding_kinds(run(candidate)) & kinds)
+
+    indexed = [f.stmt_index for f in baseline if f.stmt_index is not None]
+    if indexed:
+        stmts = shrink_to_prefix(stmts, still_fails, min(indexed))
+    return shrink_sequence(stmts, still_fails)

@@ -8,7 +8,16 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the ``repro`` package."""
+    """Base class for all errors raised by the ``repro`` package.
+
+    Every subclass carries a ``category`` — a coarse, stable error class
+    ("sql", "schema", "constraint", "txn", ...) that the differential
+    fuzzer compares against real SQLite's error classes.  Two engines
+    "agree" on a failing statement when their categories match, even
+    though messages and exception types differ.
+    """
+
+    category = "internal"
 
 
 # ---------------------------------------------------------------------------
@@ -18,6 +27,8 @@ class ReproError(Exception):
 
 class HardwareError(ReproError):
     """Base class for simulated-hardware errors."""
+
+    category = "hw"
 
 
 class AddressError(HardwareError):
@@ -53,6 +64,8 @@ class MediaError(HardwareError):
 class HeapError(ReproError):
     """Base class for persistent-heap errors."""
 
+    category = "heap"
+
 
 class OutOfNvram(HeapError):
     """The NVRAM device has no free blocks left."""
@@ -74,6 +87,8 @@ class HeapStateError(HeapError):
 
 class StorageError(ReproError):
     """Base class for block-device and filesystem errors."""
+
+    category = "storage"
 
 
 class NoSuchFile(StorageError):
@@ -110,25 +125,37 @@ class IoError(StorageError):
 class DatabaseError(ReproError):
     """Base class for database-engine errors."""
 
+    category = "db"
+
 
 class SqlError(DatabaseError):
     """Syntax or semantic error in a SQL statement."""
+
+    category = "sql"
 
 
 class TableError(DatabaseError):
     """Unknown table, duplicate table, or schema mismatch."""
 
+    category = "schema"
+
 
 class TransactionError(DatabaseError):
     """Illegal transaction state transition (e.g. nested writers)."""
+
+    category = "txn"
 
 
 class KeyNotFound(DatabaseError):
     """A keyed lookup (UPDATE/DELETE by key) found no matching row."""
 
+    category = "constraint"
+
 
 class DuplicateKey(DatabaseError):
     """An INSERT supplied a key that already exists."""
+
+    category = "constraint"
 
 
 class PageError(DatabaseError):
@@ -143,6 +170,8 @@ class PageError(DatabaseError):
 
 class WalError(ReproError):
     """Base class for write-ahead-log errors."""
+
+    category = "wal"
 
 
 class RecoveryError(WalError):

@@ -1,0 +1,75 @@
+"""Generic greedy sequence shrinking (the delta-debugging core).
+
+Both minimizers in this repo — the torture-trace minimizer
+(:mod:`repro.torture.minimize`) and the differential-fuzzer statement
+reducer (:mod:`repro.difftest.reduce`) — face the same problem: a long
+sequence of operations fails, and almost all of them are irrelevant.
+This module holds the shared shrinking engine: try dropping chunks of
+decreasing size (halves, quarters, ... single elements) until no drop
+preserves the failure, re-running the predicate on every candidate.
+
+The predicate owns the definition of "still fails" (same violation
+class, same divergence kind, ...), which is what keeps a shrink from
+drifting to an unrelated bug.  Every candidate the predicate accepts is
+strictly shorter, so termination is guaranteed; with a deterministic
+predicate the result is deterministic too.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def shrink_sequence(
+    items: Sequence[T],
+    still_fails: Callable[[list[T]], bool],
+    *,
+    min_size: int = 0,
+) -> list[T]:
+    """Greedily remove chunks of ``items`` while ``still_fails`` holds.
+
+    Chunk sizes start at half the sequence and halve down to 1; at each
+    size, chunks are tried from the tail forward (later elements are
+    usually consequences, earlier ones causes).  After any successful
+    drop the same chunk size is retried, so the pass reaches a fixed
+    point before refining.  ``min_size`` floors the result length —
+    e.g. 1 keeps at least one element per transaction.
+    """
+    items = list(items)
+    if len(items) <= min_size:
+        return items
+    chunk = max(1, len(items) // 2)
+    while True:
+        changed = False
+        start = len(items) - chunk
+        while start >= 0:
+            if len(items) - chunk >= min_size:
+                candidate = items[:start] + items[start + chunk :]
+                if still_fails(candidate):
+                    items = candidate
+                    changed = True
+            start -= chunk
+        if changed:
+            continue  # fixed point not reached at this granularity
+        if chunk == 1:
+            return items
+        chunk = max(1, chunk // 2)
+
+
+def shrink_to_prefix(
+    items: Sequence[T],
+    still_fails: Callable[[list[T]], bool],
+    cut: int,
+) -> list[T]:
+    """Try truncating ``items`` after index ``cut`` (everything past the
+    first observed failure is usually noise); keep the prefix only if the
+    failure survives."""
+    items = list(items)
+    if cut + 1 >= len(items):
+        return items
+    candidate = items[: cut + 1]
+    if still_fails(candidate):
+        return candidate
+    return items

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.faults import FaultPlan, MediaFaultSpec
+from repro.shrink import shrink_sequence
 from repro.torture.driver import ScenarioOutcome, TortureScenario, run_scenario
 
 
@@ -47,39 +48,33 @@ def minimize(scenario: TortureScenario) -> TortureScenario:
 
 
 def _shrink_txns(scenario, still_fails):
-    """Drop whole transactions, last first, until fixed point."""
-    changed = True
-    while changed:
-        changed = False
-        for i in reversed(range(len(scenario.txns))):
-            candidate = replace(
-                scenario, txns=scenario.txns[:i] + scenario.txns[i + 1 :]
-            )
-            if still_fails(candidate):
-                scenario = candidate
-                changed = True
-    return scenario
+    """Drop whole transactions (chunked greedy, via the shared engine)."""
+    kept = shrink_sequence(
+        scenario.txns,
+        lambda txns: still_fails(replace(scenario, txns=tuple(txns))),
+    )
+    return replace(scenario, txns=tuple(kept))
 
 
 def _shrink_ops(scenario, still_fails):
     """Drop individual ops inside the surviving transactions."""
-    changed = True
-    while changed:
-        changed = False
-        for ti in reversed(range(len(scenario.txns))):
-            txn = scenario.txns[ti]
-            if len(txn) <= 1:
-                continue  # _shrink_txns already tried dropping it whole
-            for oi in reversed(range(len(txn))):
-                smaller = txn[:oi] + txn[oi + 1 :]
-                candidate = replace(
-                    scenario,
-                    txns=scenario.txns[:ti] + (smaller,) + scenario.txns[ti + 1 :],
-                )
-                if still_fails(candidate):
-                    scenario = candidate
-                    changed = True
-                    break
+    for ti in reversed(range(len(scenario.txns))):
+        txn = scenario.txns[ti]
+        if len(txn) <= 1:
+            continue  # _shrink_txns already tried dropping it whole
+
+        def rebuild(ops, ti=ti):
+            return replace(
+                scenario,
+                txns=scenario.txns[:ti]
+                + (tuple(ops),)
+                + scenario.txns[ti + 1 :],
+            )
+
+        kept = shrink_sequence(
+            txn, lambda ops: still_fails(rebuild(ops)), min_size=1
+        )
+        scenario = rebuild(kept)
     return scenario
 
 

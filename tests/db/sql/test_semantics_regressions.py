@@ -1,0 +1,163 @@
+"""Minimized regressions for executor/oracle mismatches the differential
+fuzzer surfaced, each cross-checked against in-memory real SQLite so the
+expectation can never drift from ground truth.
+
+The bugs, as originally observed:
+
+* NULL comparisons returned false instead of NULL, so ``NOT (v = 1)``
+  *kept* NULL rows that SQLite drops (three-valued logic).
+* AND/OR collapsed NULL to false instead of propagating it.
+* Integer division floored (``-7/2 = -4``) where SQLite truncates
+  toward zero (``-3``); division by zero raised instead of being NULL.
+* Cross-storage-class comparisons raised instead of using SQLite's
+  storage-class order (numeric < text < blob).
+* Unknown columns and missing parameters only errored once a row was
+  scanned, so the same statement "succeeded" on an empty table.
+* ORDER BY put NULLs last ascending; SQLite puts them first.
+* Aggregates over zero rows: COUNT is 0, SUM/MIN/MAX/AVG are NULL.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import SqlError
+from tests.conftest import make_nvwal_db
+
+
+@pytest.fixture
+def db(system):
+    return make_nvwal_db(system)
+
+
+@pytest.fixture
+def oracle():
+    con = sqlite3.connect(":memory:")
+    con.isolation_level = None
+    yield con
+    con.close()
+
+
+def both(db, oracle, setup, query, params=()):
+    """Run ``setup`` + ``query`` on both engines; return (repro, sqlite)."""
+    for stmt in setup:
+        db.execute(stmt)
+        oracle.execute(stmt)
+    return (
+        [tuple(r) for r in db.query(query, params)],
+        [tuple(r) for r in oracle.execute(query, params).fetchall()],
+    )
+
+
+_NULL_TABLE = [
+    "CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)",
+    "INSERT INTO t VALUES (1, 1), (2, NULL), (3, 5)",
+]
+
+
+def test_not_of_null_comparison_drops_row(db, oracle):
+    got, want = both(db, oracle, _NULL_TABLE, "SELECT k FROM t WHERE NOT (v = 1)")
+    assert got == want == [(3,)]  # NULL row excluded: NOT NULL is NULL
+
+
+def test_null_and_or_three_valued(db, oracle):
+    got, want = both(
+        db, oracle, _NULL_TABLE,
+        "SELECT k FROM t WHERE NOT ((v = 1) AND (v < 9))",
+    )
+    assert got == want == [(3,)]
+    got, want = both(
+        db, oracle, [], "SELECT k FROM t WHERE (v = 99) OR NOT (v = 99)"
+    )
+    assert got == want == [(1,), (3,)]  # NULL v: both branches NULL
+
+
+def test_comparison_with_null_never_matches(db, oracle):
+    got, want = both(db, oracle, _NULL_TABLE, "SELECT k FROM t WHERE v != NULL")
+    assert got == want == []
+
+
+def test_integer_division_truncates_toward_zero(db, oracle):
+    setup = [
+        "CREATE TABLE d (k INTEGER PRIMARY KEY, v INTEGER)",
+        "INSERT INTO d VALUES (1, -7), (2, 7), (3, -8)",
+    ]
+    got, want = both(db, oracle, setup, "SELECT k FROM d WHERE v / 2 = -3")
+    assert got == want == [(1,)]  # floor division would give -4
+
+
+def test_division_by_zero_is_null_not_error(db, oracle):
+    setup = [
+        "CREATE TABLE z (k INTEGER PRIMARY KEY, v INTEGER)",
+        "INSERT INTO z VALUES (1, 10)",
+    ]
+    got, want = both(db, oracle, setup, "SELECT k FROM z WHERE v / 0 = 5")
+    assert got == want == []  # NULL predicate: no row, no error
+
+
+def test_cross_class_comparison_uses_storage_class_order(db, oracle):
+    setup = [
+        "CREATE TABLE c (k INTEGER PRIMARY KEY, v INTEGER)",
+        "INSERT INTO c VALUES (1, 5)",
+    ]
+    # any number < any text under storage-class ordering
+    got, want = both(db, oracle, setup, "SELECT k FROM c WHERE v < 'alder'")
+    assert got == want == [(1,)]
+    got, want = both(db, oracle, [], "SELECT k FROM c WHERE v = 'alder'")
+    assert got == want == []
+
+
+def test_unknown_column_errors_on_empty_table(db, oracle):
+    db.execute("CREATE TABLE e (k INTEGER PRIMARY KEY, v TEXT)")
+    oracle.execute("CREATE TABLE e (k INTEGER PRIMARY KEY, v TEXT)")
+    with pytest.raises(SqlError):
+        db.query("SELECT * FROM e WHERE nope = 1")
+    with pytest.raises(sqlite3.OperationalError):
+        oracle.execute("SELECT * FROM e WHERE nope = 1")
+    with pytest.raises(SqlError):
+        db.execute("UPDATE e SET v = 'x' WHERE nope = 1")
+    with pytest.raises(SqlError):
+        db.execute("DELETE FROM e WHERE nope = 1")
+
+
+def test_missing_parameter_errors_on_empty_table(db, oracle):
+    db.execute("CREATE TABLE p (k INTEGER PRIMARY KEY)")
+    oracle.execute("CREATE TABLE p (k INTEGER PRIMARY KEY)")
+    with pytest.raises(SqlError):
+        db.query("SELECT * FROM p WHERE k = ?")
+    with pytest.raises(sqlite3.ProgrammingError):
+        oracle.execute("SELECT * FROM p WHERE k = ?").fetchall()
+
+
+def test_order_by_puts_nulls_first_ascending(db, oracle):
+    got, want = both(db, oracle, _NULL_TABLE, "SELECT v FROM t ORDER BY v")
+    assert got == want == [(None,), (1,), (5,)]
+    got, want = both(db, oracle, [], "SELECT v FROM t ORDER BY v DESC")
+    assert got == want == [(5,), (1,), (None,)]
+
+
+def test_aggregates_over_empty_table(db, oracle):
+    setup = ["CREATE TABLE a (k INTEGER PRIMARY KEY, v INTEGER)"]
+    for agg, expected in [
+        ("COUNT(*)", 0),
+        ("COUNT(v)", 0),
+        ("SUM(v)", None),
+        ("MIN(v)", None),
+        ("MAX(v)", None),
+        ("AVG(v)", None),
+    ]:
+        got, want = both(db, oracle, setup, f"SELECT {agg} FROM a")
+        setup = []
+        assert got == want == [(expected,)], agg
+
+
+def test_sum_keeps_integer_type(db, oracle):
+    setup = [
+        "CREATE TABLE s (k INTEGER PRIMARY KEY, v INTEGER)",
+        "INSERT INTO s VALUES (1, 2), (2, 3)",
+    ]
+    got, want = both(db, oracle, setup, "SELECT SUM(v) FROM s")
+    assert got == want == [(5,)]
+    assert isinstance(got[0][0], int) and isinstance(want[0][0], int)
+    got, want = both(db, oracle, [], "SELECT AVG(v) FROM s")
+    assert got == want == [(2.5,)]

@@ -1,5 +1,6 @@
 """Fuzz the SQL front end: arbitrary input must parse or raise SqlError."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -38,6 +39,7 @@ def test_arbitrary_text_never_crashes(text):
         pass
 
 
+@pytest.mark.slow
 @settings(max_examples=100, deadline=None)
 @given(
     key=st.integers(min_value=-(2**62), max_value=2**62),

@@ -1,0 +1,80 @@
+"""Statement-level reduction: behaviour of the shared shrink engine on
+streams, with fake runners (fast) and the real sabotage bug (marked)."""
+
+import pytest
+
+from repro.difftest.grammar import Stmt, StreamGenerator
+from repro.difftest.reduce import finding_kinds, minimize_stream
+from repro.difftest.runner import Finding, run_stream
+from repro.shrink import shrink_sequence, shrink_to_prefix
+
+
+def _stmt(i):
+    return Stmt(f"SELECT {i}", kind="select")
+
+
+class TestShrinkEngine:
+    def test_reduces_to_single_cause(self):
+        items = list(range(50))
+        kept = shrink_sequence(items, lambda c: 37 in c)
+        assert kept == [37]
+
+    def test_preserves_conspiring_pair(self):
+        items = list(range(50))
+        kept = shrink_sequence(items, lambda c: 3 in c and 41 in c)
+        assert kept == [3, 41]
+
+    def test_min_size_floor(self):
+        kept = shrink_sequence([1, 2, 3], lambda c: True, min_size=1)
+        assert len(kept) == 1
+
+    def test_prefix_cut(self):
+        items = list(range(20))
+        assert shrink_to_prefix(items, lambda c: 5 in c, 5) == list(range(6))
+        # failure needs a later element: prefix rejected, input returned
+        assert shrink_to_prefix(items, lambda c: 15 in c, 5) == items
+
+
+class TestMinimizeStream:
+    def test_reduces_to_failing_statements(self):
+        stream = [_stmt(i) for i in range(40)]
+        bad = {stream[7].sql, stream[23].sql}
+
+        def fake_run(stmts):
+            present = {s.sql for s in stmts}
+            if bad <= present:
+                return [Finding("result", 23, "nvwal", "boom")]
+            return []
+
+        small = minimize_stream(stream, fake_run)
+        assert sorted(s.sql for s in small) == sorted(bad)
+
+    def test_requires_a_failing_stream(self):
+        with pytest.raises(ValueError):
+            minimize_stream([_stmt(1)], lambda stmts: [])
+
+    def test_kind_preserved_not_drifted(self):
+        """A shrink that would swap the finding kind is rejected."""
+        stream = [_stmt(i) for i in range(10)]
+
+        def fake_run(stmts):
+            if len(stmts) >= 5:
+                return [Finding("scheme", 4, "journal", "raw rows differ")]
+            return [Finding("invariant", 0, "nvwal", "unrelated")]
+
+        small = minimize_stream(stream, fake_run)
+        assert len(small) == 5
+        assert finding_kinds(fake_run(small)) == {"scheme"}
+
+
+@pytest.mark.difftest
+def test_minimizes_real_sabotage_bug_to_few_statements():
+    stmts = StreamGenerator(2).stream(60)
+
+    def run(candidate):
+        return run_stream(candidate, sabotage=True)
+
+    assert finding_kinds(run(stmts))
+    small = minimize_stream(stmts, run)
+    assert len(small) <= 5
+    assert finding_kinds(run(small))

@@ -29,6 +29,10 @@ from repro.torture import (
 )
 from repro.torture.__main__ import main
 
+# Sized to run in tier-1; the marker lets `pytest -m torture` select the
+# crash-consistency tests on their own.
+pytestmark = pytest.mark.torture
+
 
 class TestWorkload:
     def test_generated_workload_is_deterministic(self):

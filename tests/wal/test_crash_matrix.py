@@ -74,6 +74,7 @@ def count_txn_ops(scheme: NvwalScheme) -> int:
     return system.crash.count_ops(txn)
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.name)
 def test_crash_at_every_step_preserves_committed_prefix(scheme):
     """Sweep the power failure over every op of the committing transaction."""
