@@ -17,6 +17,7 @@ from repro.bench.experiments import (
     fig8,
     fig9,
     motivation,
+    service_storm,
     table1,
     table2,
 )
@@ -35,6 +36,7 @@ EXPERIMENTS = {
     "ablation_diff": ablation_diff.run,
     "ablation_recovery": ablation_recovery.run,
     "ablation_checkpoint": ablation_checkpoint.run,
+    "service_storm": service_storm.run,
 }
 
 __all__ = ["EXPERIMENTS"]

@@ -25,6 +25,7 @@ from repro.db.sql import ast_nodes as ast
 from repro.db.sql.executor import Executor
 from repro.db.sql.parser import parse
 from repro.errors import (
+    BusyError,
     DatabaseError,
     SqlError,
     TableError,
@@ -84,6 +85,13 @@ class Database:
             self.pager.install_page(pno, image)
         self.executor = Executor(self)
         self._in_explicit_txn = False
+        self._txn_owner: object = None
+        #: Optional SQLite-style busy handler: called as ``handler(attempt)``
+        #: when :meth:`begin` finds the writer slot held by a *different*
+        #: owner.  Return True to re-check (after e.g. advancing the
+        #: simulated clock), False to give up — :class:`BusyError` is then
+        #: raised.  With no handler installed contention fails fast.
+        self.busy_handler = None
         self._tables_cache: dict[str, TableInfo] = {}
         self._tables_cookie = -1
 
@@ -140,10 +148,39 @@ class Database:
         return total
 
     @contextlib.contextmanager
-    def transaction(self):
+    def snapshot_view(self):
+        """``with db.snapshot_view():`` — reads observe the last-committed
+        state, hiding any in-flight writer's uncommitted page changes.
+
+        This is the multi-reader half of SQLite's WAL concurrency story:
+        readers never block on the single writer, they simply see the
+        database as of the last commit.  Writes are forbidden while the
+        view is active; the view must be exited before the writer resumes
+        (the cooperative service layer guarantees this by completing each
+        snapshot read within one scheduler step).
+        """
+        self.pager.push_snapshot()
+        try:
+            yield self
+        finally:
+            self.pager.pop_snapshot()
+
+    def snapshot_query(self, sql: str, params: tuple = ()) -> list[tuple]:
+        """Run one SELECT against the last-committed snapshot."""
+        self.system.cpu.compute(
+            self.system.config.db_costs.statement_ns, TimeBucket.CPU
+        )
+        stmt = parse(sql)
+        if not isinstance(stmt, ast.Select):
+            raise SqlError("snapshot_query() requires a SELECT statement")
+        with self.snapshot_view():
+            return self.executor.run(stmt, params)
+
+    @contextlib.contextmanager
+    def transaction(self, owner: object = None):
         """``with db.transaction():`` — commit on success, roll back on
         exception (including simulated power failures)."""
-        self.begin()
+        self.begin(owner=owner)
         try:
             yield self
         except BaseException:
@@ -156,26 +193,64 @@ class Database:
     # transaction control
     # ------------------------------------------------------------------
 
-    def begin(self) -> None:
-        """Open a write transaction (SQLite allows exactly one writer)."""
+    def begin(self, owner: object = None) -> None:
+        """Open a write transaction (SQLite allows exactly one writer).
+
+        ``owner`` identifies the requesting session for multi-session
+        fronts.  A reentrant BEGIN by the *same* owner (or any BEGIN when
+        no owner is tracked) is a clean :class:`TransactionError` that
+        leaves the open transaction untouched.  A BEGIN by a *different*
+        owner consults :attr:`busy_handler` and raises :class:`BusyError`
+        once it gives up — the ``SQLITE_BUSY`` path.
+        """
         if self._in_explicit_txn:
-            raise TransactionError("transaction already in progress")
+            if owner is not None and owner != self._txn_owner:
+                attempt = 0
+                while (
+                    self._in_explicit_txn
+                    and self.busy_handler is not None
+                    and self.busy_handler(attempt)
+                ):
+                    attempt += 1
+                if self._in_explicit_txn:
+                    raise BusyError(
+                        f"writer slot held by {self._txn_owner!r}"
+                    )
+            else:
+                raise TransactionError("transaction already in progress")
         self.pager.begin()
         self._in_explicit_txn = True
+        self._txn_owner = owner
 
-    def commit(self) -> None:
+    def commit(self, owner: object = None) -> None:
         """Commit: hand the dirty pages to the WAL, then maybe checkpoint."""
         if not self._in_explicit_txn:
             raise TransactionError("no transaction in progress")
+        self._check_owner(owner)
         self._commit_pager_txn()
         self._in_explicit_txn = False
+        self._txn_owner = None
+        # The auto-checkpoint runs only after the session's transaction
+        # state is clean: a transient IoError while flushing the db file
+        # must surface as a failed *checkpoint* (retryable later), not
+        # wedge the session in a half-committed transaction.
+        if self.auto_checkpoint:
+            self.wal.maybe_checkpoint()
 
-    def rollback(self) -> None:
+    def rollback(self, owner: object = None) -> None:
         """Abort the open transaction, restoring pre-images."""
         if not self._in_explicit_txn:
             raise TransactionError("no transaction in progress")
+        self._check_owner(owner)
         self.pager.rollback()
         self._in_explicit_txn = False
+        self._txn_owner = None
+
+    def _check_owner(self, owner: object) -> None:
+        if owner is not None and owner != self._txn_owner:
+            raise TransactionError(
+                f"transaction owned by {self._txn_owner!r}, not {owner!r}"
+            )
 
     def checkpoint(self) -> int:
         """Force a WAL checkpoint; returns pages written to the db file."""
@@ -203,6 +278,8 @@ class Database:
             raise
         self._commit_pager_txn()
         self._in_explicit_txn = False
+        if self.auto_checkpoint:
+            self.wal.maybe_checkpoint()
         return result
 
     def _commit_pager_txn(self) -> None:
@@ -214,8 +291,6 @@ class Database:
             dirty, commit=True, pre_images=self.pager.pre_images()
         )
         self.pager.commit_finish()
-        if self.auto_checkpoint:
-            self.wal.maybe_checkpoint()
 
     # ------------------------------------------------------------------
     # catalog

@@ -53,6 +53,9 @@ class Pager:
         self._dirty: dict[int, None] = {}  # insertion-ordered set
         self._snapshots: dict[int, bytes | None] = {}
         self._in_txn = False
+        # Saved current images while a snapshot view temporarily rewinds
+        # dirtied pages to their pre-transaction state (None = no view).
+        self._snapshot_saved: dict[int, bytes] | None = None
         if self.db_file.size == 0:
             self._format_header()
         else:
@@ -159,6 +162,8 @@ class Pager:
         """
         if not self._in_txn:
             raise DatabaseError("page modified outside a transaction")
+        if self._snapshot_saved is not None:
+            raise DatabaseError("page modified during a snapshot view")
         if pno not in self._dirty:
             page = self.get_page(pno)
             self._snapshots[pno] = bytes(page)
@@ -259,6 +264,41 @@ class Pager:
     def _require_txn(self) -> None:
         if not self._in_txn:
             raise DatabaseError("no pager transaction in progress")
+
+    # ------------------------------------------------------------------
+    # snapshot views
+    # ------------------------------------------------------------------
+
+    def push_snapshot(self) -> None:
+        """Temporarily rewind every dirtied page to its pre-transaction
+        image so readers observe the last-committed state.
+
+        The in-flight writer's dirty images are stashed and restored by
+        :meth:`pop_snapshot`.  Rewinding the header page also hides
+        in-flight allocations and schema changes: snapshot readers
+        navigate from the committed catalog root, which references only
+        committed pages.  Writes are forbidden while the view is active.
+        """
+        if self._snapshot_saved is not None:
+            raise DatabaseError("snapshot view already active")
+        saved: dict[int, bytes] = {}
+        for pno in self._dirty:
+            saved[pno] = bytes(self._pages[pno])
+            self._pages[pno][:] = self._snapshots[pno]
+        self._snapshot_saved = saved
+
+    def pop_snapshot(self) -> None:
+        """Restore the dirty images stashed by :meth:`push_snapshot`."""
+        if self._snapshot_saved is None:
+            raise DatabaseError("no snapshot view active")
+        for pno, image in self._snapshot_saved.items():
+            self._pages[pno][:] = image
+        self._snapshot_saved = None
+
+    @property
+    def in_snapshot(self) -> bool:
+        """Whether a snapshot view is active."""
+        return self._snapshot_saved is not None
 
     # ------------------------------------------------------------------
     # checkpoint support

@@ -10,14 +10,24 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package.
 
-    Every subclass carries a ``category`` — a coarse, stable error class
-    ("sql", "schema", "constraint", "txn", ...) that the differential
-    fuzzer compares against real SQLite's error classes.  Two engines
-    "agree" on a failing statement when their categories match, even
-    though messages and exception types differ.
+    Every subclass carries two stable classification attributes:
+
+    ``category`` — a coarse, stable error class ("sql", "schema",
+    "constraint", "txn", ...) that the differential fuzzer compares
+    against real SQLite's error classes.  Two engines "agree" on a
+    failing statement when their categories match, even though messages
+    and exception types differ.
+
+    ``retryable`` — whether retrying the *same* operation can succeed.
+    Transient device hiccups (:class:`IoError`, :class:`BusyError`) are
+    retryable; persistent hardware damage (:class:`MediaError`) and
+    logical errors (:class:`SqlError`) are not.  The service layer's
+    retry-with-backoff machinery keys off this flag, so every error in
+    the hierarchy must classify itself honestly.
     """
 
     category = "internal"
+    retryable = False
 
 
 # ---------------------------------------------------------------------------
@@ -53,7 +63,14 @@ class MediaError(HardwareError):
     Models ECC-uncorrectable cell decay: the device *detects* the failure
     instead of silently returning garbage.  Recovery code treats the
     affected region as unreadable and salvages around it.
+
+    Not retryable: a poisoned unit keeps failing until its whole ECC
+    codeword is rewritten, so re-issuing the read cannot help.  Callers
+    escalate instead (circuit breaker, degraded mode, salvage).
     """
+
+    category = "media"
+    retryable = False
 
 
 # ---------------------------------------------------------------------------
@@ -113,8 +130,13 @@ class IoError(StorageError):
     eMMC devices occasionally fail a command and succeed on retry; the
     filesystem and WAL layers absorb these with bounded
     retry-with-backoff, so the error only propagates when the device
-    keeps failing past the retry budget.
+    keeps failing past the retry budget.  Even then the failure is
+    *transient* — the service layer may retry the whole operation with
+    its own (longer) backoff schedule.
     """
+
+    category = "io"
+    retryable = True
 
 
 # ---------------------------------------------------------------------------
@@ -144,6 +166,19 @@ class TransactionError(DatabaseError):
     """Illegal transaction state transition (e.g. nested writers)."""
 
     category = "txn"
+
+
+class BusyError(DatabaseError):
+    """The database's single writer slot is held by another session.
+
+    The ``SQLITE_BUSY`` equivalent: raised when a write transaction
+    cannot be started because a different owner already holds one and
+    the busy handler (if any) gave up waiting.  Retryable by definition —
+    the holder will commit or roll back eventually.
+    """
+
+    category = "busy"
+    retryable = True
 
 
 class KeyNotFound(DatabaseError):
@@ -180,3 +215,48 @@ class RecoveryError(WalError):
 
 class ChecksumError(WalError):
     """A frame checksum did not match its payload."""
+
+
+# ---------------------------------------------------------------------------
+# Service-layer errors
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the concurrent service front end."""
+
+    category = "service"
+
+
+class DeadlineExceeded(ServiceError):
+    """A request ran past its deadline before it could be served.
+
+    Not retryable as-is: the caller's time budget is spent.  The client
+    owns the decision to re-submit with a fresh deadline.
+    """
+
+    category = "deadline"
+    retryable = False
+
+
+class CircuitOpenError(ServiceError):
+    """The media circuit breaker is open; writes are refused fast.
+
+    Retryable after the breaker's cooldown — the service probes the
+    hardware and closes the breaker when scrubbing comes back clean.
+    """
+
+    category = "breaker"
+    retryable = True
+
+
+class ReadOnlyError(ServiceError):
+    """The service is in degraded read-only mode; writes are refused.
+
+    Reads keep being served from the last committed snapshot.  Retryable:
+    the service re-promotes to read-write after a successful background
+    checkpoint + salvage pass.
+    """
+
+    category = "degraded"
+    retryable = True

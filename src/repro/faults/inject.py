@@ -123,10 +123,14 @@ class NvramFaultInjector:
             first = addr - (addr % ATOMIC_UNIT)
             for unit in self.poisoned:
                 if first <= unit < addr + length:
-                    raise MediaError(
+                    err = MediaError(
                         f"uncorrectable NVRAM unit at {unit:#x} "
                         f"(read addr={addr:#x} len={length})"
                     )
+                    # Persistent by construction: the unit keeps failing
+                    # until a write replaces its whole ECC codeword.
+                    err.retryable = False
+                    raise err
         if self.stuck:
             out = None
             end = addr + length
@@ -175,5 +179,9 @@ class BlockIoFaultInjector:
             if failures < self.spec.max_consecutive:
                 self._consecutive[key] = failures + 1
                 self.injected += 1
-                raise IoError(f"transient {kind} failure on page {pno}")
+                err = IoError(f"transient {kind} failure on page {pno}")
+                # Transient by construction: consecutive failures per
+                # (op, page) are capped, so retrying always succeeds.
+                err.retryable = True
+                raise err
         self._consecutive.pop(key, None)

@@ -1,0 +1,7 @@
+"""``python -m repro.service`` — alias for the chaos harness CLI."""
+
+import sys
+
+from repro.service.cli import main
+
+sys.exit(main())

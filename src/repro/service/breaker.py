@@ -1,0 +1,80 @@
+"""Circuit breaker for persistent-media failures.
+
+Transient IoErrors are the retry policy's problem; *persistent*
+MediaErrors (decayed NVRAM units) are not — retrying a poisoned read
+burns time and returns the same failure.  The breaker converts repeated
+media failures into fast rejection:
+
+* ``closed`` — healthy; failures increment a consecutive counter.
+* ``open`` — tripped after ``failure_threshold`` consecutive failures;
+  requests are refused without touching the hardware until
+  ``cooldown_ns`` of simulated time has passed.
+* ``half_open`` — cooled down; exactly one probe (the maintenance
+  daemon's scrub pass) is allowed through.  Success closes the breaker,
+  failure re-opens it and restarts the cooldown.
+
+All timing is simulated-clock; state transitions are pure functions of
+the failure/success sequence, keeping chaos runs reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.hw.clock import SimClock
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker on the simulated clock."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        failure_threshold: int = 3,
+        cooldown_ns: int = 2_000_000_000,
+    ) -> None:
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.cooldown_ns = cooldown_ns
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at_ns = 0.0
+        #: trip count over the breaker's lifetime (stats/experiments)
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """``closed``, ``open``, or ``half_open`` (cooldown elapsed)."""
+        if self._state == OPEN and self.clock.elapsed_since(
+            self._opened_at_ns
+        ) >= self.cooldown_ns:
+            return HALF_OPEN
+        return self._state
+
+    def allow_probe(self) -> bool:
+        """Whether a health probe may touch the hardware right now."""
+        return self.state != OPEN
+
+    def record_failure(self) -> None:
+        """One media failure: count toward (or renew) the trip."""
+        self._consecutive_failures += 1
+        if self._state == CLOSED:
+            if self._consecutive_failures >= self.failure_threshold:
+                self._trip()
+        else:
+            # A half-open probe failed (or failures continue while open):
+            # restart the cooldown from now.
+            self._trip()
+
+    def record_success(self) -> None:
+        """One healthy probe/request: close from half-open, reset counts."""
+        self._consecutive_failures = 0
+        self._state = CLOSED
+
+    def _trip(self) -> None:
+        if self._state == CLOSED:
+            self.trips += 1  # a new outage, not a renewed cooldown
+        self._state = OPEN
+        self._opened_at_ns = self.clock.now_ns

@@ -1,0 +1,115 @@
+"""Shrink a failing chaos scenario to a minimal reproducer.
+
+Chaos failures arrive as a pile of concurrent streams, fault plans,
+storms, and scripted power cuts; almost all of it is noise.  The
+minimizer reuses the repo's delta-debugging core
+(:func:`repro.shrink.shrink_sequence`) at three granularities —
+
+1. drop whole client sessions,
+2. drop whole transactions within each surviving stream,
+3. drop individual operations within each surviving transaction,
+
+— and between passes tries the cheap structural simplifications: no
+fault plan, no storms, fewer power cycles, no final power cycle.  The
+"still fails" predicate demands a violation of the *same class* (the
+``code:`` prefix, e.g. ``ack-lost``), which keeps the shrink from
+drifting onto an unrelated bug.  Every run of a scenario is
+deterministic, so the result is too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.service.chaos import ChaosScenario, run_chaos
+from repro.shrink import shrink_sequence
+
+
+def _codes(scenario: ChaosScenario) -> set:
+    """Violation classes this scenario produces (``code:`` prefixes)."""
+    outcome = run_chaos(scenario)
+    return {v.split(":", 1)[0] for v in outcome.violations}
+
+
+def minimize(scenario: ChaosScenario) -> ChaosScenario:
+    """Return the smallest scenario still producing the same failure class."""
+    target = _codes(scenario)
+    if not target:
+        return scenario  # does not fail; nothing to shrink toward
+
+    def still_fails(candidate: ChaosScenario) -> bool:
+        return bool(_codes(candidate) & target)
+
+    # Structural simplifications first: each drops a whole dimension of
+    # the search space before the (expensive) sequence shrinks run.
+    for simpler in (
+        replace(scenario, plan=None, storms=0),
+        replace(scenario, storms=0),
+        replace(scenario, power_cycles=()),
+        replace(scenario, final_power_cycle=False),
+        replace(scenario, read_every=0),
+    ):
+        if simpler != scenario and still_fails(simpler):
+            scenario = simpler
+
+    # Fewer power cuts (each cut is one more recovery epoch to stare at).
+    if len(scenario.power_cycles) > 1:
+        cycles = shrink_sequence(
+            list(scenario.power_cycles),
+            lambda cs: still_fails(
+                replace(scenario, power_cycles=tuple(sorted(cs)))
+            ),
+            min_size=1,
+        )
+        scenario = replace(scenario, power_cycles=tuple(sorted(cycles)))
+
+    # Drop whole sessions.  Key remapping was fixed when the streams were
+    # generated, so surviving streams keep their disjoint key spaces.
+    streams = list(scenario.streams)
+    if len(streams) > 1:
+        streams = shrink_sequence(
+            streams,
+            lambda ss: still_fails(replace(scenario, streams=tuple(ss))),
+            min_size=1,
+        )
+        scenario = replace(scenario, streams=tuple(streams))
+
+    # Drop transactions within each surviving stream.
+    for idx in range(len(scenario.streams)):
+
+        def with_stream(txns, idx=idx):
+            streams = list(scenario.streams)
+            streams[idx] = tuple(txns)
+            return replace(scenario, streams=tuple(streams))
+
+        kept = shrink_sequence(
+            list(scenario.streams[idx]),
+            lambda txns: still_fails(with_stream(txns)),
+        )
+        scenario = with_stream(kept)
+
+    # Drop operations within each surviving transaction.
+    for s_idx in range(len(scenario.streams)):
+        for t_idx in range(len(scenario.streams[s_idx])):
+
+            def with_txn(ops, s_idx=s_idx, t_idx=t_idx):
+                streams = [list(st) for st in scenario.streams]
+                streams[s_idx][t_idx] = tuple(ops)
+                return replace(
+                    scenario, streams=tuple(tuple(st) for st in streams)
+                )
+
+            kept = shrink_sequence(
+                list(scenario.streams[s_idx][t_idx]),
+                lambda ops: still_fails(with_txn(ops)),
+                min_size=1,
+            )
+            scenario = with_txn(kept)
+
+    # Empty streams left behind by the txn shrink are pure noise.
+    pruned = tuple(st for st in scenario.streams if st)
+    if pruned != scenario.streams and pruned:
+        candidate = replace(scenario, streams=pruned)
+        if still_fails(candidate):
+            scenario = candidate
+    return scenario

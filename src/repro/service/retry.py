@@ -1,0 +1,68 @@
+"""Retry with exponential backoff + jitter on the simulated clock.
+
+The policy is plain data (picklable, JSON-friendly) so chaos scenarios
+can carry it; the jitter draws from the caller's seeded RNG stream, so
+backoff timing is deterministic per run yet decorrelated across sessions
+— full jitter, the standard defense against retry storms synchronizing
+into thundering herds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import DeadlineExceeded, ReproError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule for retryable errors."""
+
+    max_attempts: int = 5
+    base_delay_ns: int = 200_000  # 0.2 ms
+    multiplier: float = 2.0
+    max_delay_ns: int = 50_000_000  # 50 ms cap
+    jitter: float = 0.5  # fraction of the delay drawn uniformly at random
+
+    def delay_ns(self, attempt: int, rng: random.Random) -> int:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        raw = min(
+            self.base_delay_ns * self.multiplier**attempt, self.max_delay_ns
+        )
+        if self.jitter > 0.0:
+            raw = raw * (1.0 - self.jitter) + raw * self.jitter * rng.random()
+        return max(1, int(raw))
+
+
+def call_with_retry(
+    fn,
+    policy: RetryPolicy,
+    rng: random.Random,
+    clock,
+    deadline_ns: float | None = None,
+):
+    """Generator: run ``fn`` with backoff on retryable errors.
+
+    Yields each backoff delay (for the cooperative scheduler to sleep);
+    returns ``fn()``'s result via ``StopIteration``, so callers write
+    ``result = yield from call_with_retry(...)``.  Non-retryable errors
+    and exhausted budgets re-raise the last error; a backoff that would
+    overrun ``deadline_ns`` raises :class:`DeadlineExceeded` instead of
+    sleeping through it.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except ReproError as exc:
+            if not exc.retryable or attempt + 1 >= policy.max_attempts:
+                raise
+            delay = policy.delay_ns(attempt, rng)
+            if deadline_ns is not None and clock.now_ns + delay > deadline_ns:
+                raise DeadlineExceeded(
+                    f"retry backoff would overrun the deadline "
+                    f"(attempt {attempt + 1}, {type(exc).__name__}: {exc})"
+                ) from exc
+            yield delay
+            attempt += 1

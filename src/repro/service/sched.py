@@ -1,0 +1,122 @@
+"""Cooperative scheduler over the simulated clock.
+
+No real threads: a *job* is a Python generator that yields how many
+simulated nanoseconds it wants to sleep before its next step, and the
+scheduler interleaves jobs by earliest wake time (FIFO on ties, by spawn
+order).  Because the clock is simulated and every tie is broken
+deterministically, a run is a pure function of its inputs — the property
+the chaos harness's jobs-invariant digest rests on.
+
+Two job flavors:
+
+* regular jobs — the scheduler runs until all of them finish;
+* daemon jobs (background maintenance) — stepped while regular jobs are
+  live, abandoned once the last regular job completes.
+
+A :class:`repro.errors.PowerFailure` raised by any job propagates out of
+:meth:`Scheduler.run` immediately — the machine lost power mid-step, and
+nothing else may run.  The driver owns the cleanup (it abandons the
+generators and rebuilds the world), mirroring how a crash really leaves
+no chance to unwind.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generator
+
+from repro.errors import PowerFailure, ReproError
+from repro.hw.clock import SimClock
+
+
+class Job:
+    """Handle for one scheduled generator."""
+
+    def __init__(self, name: str, gen: Generator, daemon: bool) -> None:
+        self.name = name
+        self.gen = gen
+        self.daemon = daemon
+        self.done = False
+        self.result = None
+        self.error: BaseException | None = None
+        self.steps = 0
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "runnable"
+        return f"Job({self.name!r}, {state}, steps={self.steps})"
+
+
+class Scheduler:
+    """Deterministic cooperative scheduler driven by a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self._seq = 0
+        #: min-heap of (wake_ns, seq, Job)
+        self._ready: list[tuple[float, int, Job]] = []
+        self.jobs: list[Job] = []
+
+    def spawn(self, name: str, gen: Generator, daemon: bool = False) -> Job:
+        """Register a generator job; it first runs at the current time."""
+        job = Job(name, gen, daemon)
+        self.jobs.append(job)
+        self._push(job, self.clock.now_ns)
+        return job
+
+    def _push(self, job: Job, wake_ns: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._ready, (wake_ns, self._seq, job))
+
+    def _live_regular(self) -> bool:
+        return any(not j.done and not j.daemon for j in self.jobs)
+
+    def run(self) -> None:
+        """Step jobs until every regular job has finished.
+
+        Job exceptions other than :class:`PowerFailure` are captured on
+        the job (``job.error``) rather than raised: one failing client
+        must not take the service down.  :class:`PowerFailure` always
+        propagates — power loss stops the world.
+        """
+        while self._ready and self._live_regular():
+            wake_ns, _seq, job = heapq.heappop(self._ready)
+            if job.done:
+                continue
+            if job.daemon and not self._live_regular():
+                continue
+            if wake_ns > self.clock.now_ns:
+                self.clock.advance_to(wake_ns)
+            job.steps += 1
+            try:
+                delay_ns = next(job.gen)
+            except StopIteration as stop:
+                job.done = True
+                job.result = stop.value
+                continue
+            except PowerFailure:
+                raise
+            except ReproError as exc:
+                job.done = True
+                job.error = exc
+                continue
+            self._push(job, self.clock.now_ns + max(0, delay_ns))
+
+    def abandon(self) -> None:
+        """Drop every job without running cleanup-visible code.
+
+        Used after a power failure: ``finally`` blocks in jobs must not
+        observe the crash, so generators are closed with exceptions
+        suppressed (their volatile work is gone anyway).
+        """
+        for job in self.jobs:
+            if not job.done:
+                job.done = True
+                try:
+                    job.gen.close()
+                except Exception:  # noqa: BLE001 - crash cleanup is best-effort
+                    pass
+        self._ready.clear()
+
+    def failed_jobs(self) -> list[Job]:
+        """Jobs that ended with a captured error."""
+        return [j for j in self.jobs if j.error is not None]

@@ -1,0 +1,416 @@
+"""The database service: admission, deadlines, degradation, maintenance.
+
+One :class:`DatabaseService` fronts one :class:`repro.db.Database` for
+many cooperative sessions.  Requests are generators (driven by the
+:class:`~repro.service.sched.Scheduler`); the service enforces:
+
+* **single-writer admission** — ``begin(owner=session)`` contention
+  surfaces as :class:`BusyError`; the service polls the writer slot on
+  the simulated clock until the configured busy timeout, exactly
+  SQLite's ``sqlite3_busy_timeout`` behavior.
+* **deadlines** — a request carries an absolute simulated-clock
+  deadline; the service refuses to sleep past it and raises
+  :class:`DeadlineExceeded` with the transaction rolled back.
+* **retry/backoff** — transient :class:`IoError`s roll the transaction
+  back and retry the whole request with exponential backoff + jitter.
+* **degraded read-only mode** — repeated media failures (circuit
+  breaker) or Heapo descriptor quarantine demote the service: writes are
+  refused fast (:class:`CircuitOpenError` / :class:`ReadOnlyError`),
+  reads keep being served from the committed snapshot.  The maintenance
+  daemon re-promotes after a clean scrub (salvage-style log re-scan) and
+  a successful checkpoint.
+
+Why NVWAL makes this shape viable (paper Section 4): persist ordering is
+enforced only between a transaction's logging and its commit mark, so
+readers never wait on flush pipelining and writers serialize only at
+commit — the admission policy above is the concurrency model the log
+design already paid for.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.db.database import Database
+from repro.errors import (
+    BusyError,
+    CircuitOpenError,
+    DeadlineExceeded,
+    DuplicateKey,
+    IoError,
+    MediaError,
+    PowerFailure,
+    ReadOnlyError,
+    ReproError,
+    SqlError,
+)
+from repro.service.breaker import CircuitBreaker
+from repro.service.retry import RetryPolicy, call_with_retry
+
+READ_WRITE = "rw"
+READ_ONLY = "ro"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs for admission, robustness, and maintenance."""
+
+    #: How long a writer waits for the writer slot before BusyError.
+    busy_timeout_ns: int = 20_000_000  # 20 ms
+    #: Poll cadence while waiting for the writer slot.
+    busy_poll_ns: int = 200_000  # 0.2 ms
+    #: Backoff schedule for transient IoError retries.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Consecutive media failures before the breaker trips (demotes).
+    breaker_threshold: int = 2
+    #: Simulated cooldown before a half-open health probe is allowed.
+    breaker_cooldown_ns: int = 5_000_000  # 5 ms
+    #: Quarantined Heapo descriptor slots that force a demotion.
+    quarantine_limit: int = 1
+    #: Maintenance daemon cadence (scrub, breaker probes, re-promotion).
+    maintenance_interval_ns: int = 2_000_000  # 2 ms
+    #: Cooperative pause between a transaction's statements.  This is
+    #: what makes the writer slot *contended*: the writer holds it across
+    #: scheduler steps, so other sessions really do busy-wait and readers
+    #: really do overlap an in-flight writer.
+    txn_op_pause_ns: int = 100_000  # 0.1 ms
+    #: Self-test sabotage: acknowledge the client *before* the commit is
+    #: durable.  Exists so the chaos harness can prove its acked-vs-
+    #: recovered oracle catches exactly this bug class.
+    ack_before_commit: bool = False
+
+
+@dataclass
+class ServiceStats:
+    """Counters the chaos driver and experiments report."""
+
+    txns_acked: int = 0
+    reads_served: int = 0
+    busy_waits: int = 0
+    busy_timeouts: int = 0
+    io_retries: int = 0
+    deadline_misses: int = 0
+    checkpoint_failures: int = 0
+    media_failures: int = 0
+    demotions: int = 0
+    promotions: int = 0
+    rejected_read_only: int = 0
+    rejected_breaker_open: int = 0
+    scrubs: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(vars(self))
+
+
+class DatabaseService:
+    """Single-writer/multi-reader service over one database."""
+
+    def __init__(
+        self,
+        db: Database,
+        config: ServiceConfig | None = None,
+        seed: int = 0,
+        on_ack=None,
+        on_checkpoint=None,
+    ) -> None:
+        self.db = db
+        self.system = db.system
+        self.clock = db.system.clock
+        self.config = config or ServiceConfig()
+        self.rng = random.Random((seed * 0xA24BAED4 + 0x9FB21C65) & 0xFFFFFFFF)
+        self.breaker = CircuitBreaker(
+            self.clock,
+            failure_threshold=self.config.breaker_threshold,
+            cooldown_ns=self.config.breaker_cooldown_ns,
+        )
+        self.mode = READ_WRITE
+        self.demotion_reason = ""
+        self.stats = ServiceStats()
+        #: Called as ``on_ack(session_id, ops)`` the moment a transaction
+        #: is acknowledged — the chaos oracle's commit log.
+        self.on_ack = on_ack
+        #: Called with no arguments after every successful checkpoint —
+        #: the chaos oracle's durability floor under relaxed schemes.
+        self.on_checkpoint = on_checkpoint
+        self._seen_quarantine = len(self.system.heapo.quarantined_slots())
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def submit_txn(self, session_id: str, ops, deadline_ns: float | None = None):
+        """Generator: run one write transaction for ``session_id``.
+
+        ``ops`` are keyed-table operations (``("insert", k, v)`` /
+        ``("update", k, v)`` / ``("delete", k, None)``) applied
+        atomically.  Yields simulated sleeps (busy polling, retry
+        backoff); returns the number of applied ops once acknowledged.
+        Raises the admission/robustness errors documented in the module
+        docstring; on any raise the transaction is rolled back and was
+        **not** acknowledged.
+        """
+        attempt = 0
+        while True:
+            self._check_writable()
+            self._check_deadline(deadline_ns)
+            try:
+                yield from self._acquire_writer(session_id, deadline_ns)
+                try:
+                    applied = yield from self._apply_ops(ops, deadline_ns)
+                    if self.config.ack_before_commit:
+                        self._ack(session_id, ops)
+                        self._commit(session_id)
+                    else:
+                        self._commit(session_id)
+                        self._ack(session_id, ops)
+                    return applied
+                except BaseException:
+                    # PowerFailure included: rollback only touches
+                    # volatile state, and leaving the owner slot held
+                    # would wedge every later session.  If the machine
+                    # is already dead the rollback itself blows up —
+                    # volatile state is gone anyway, so the original
+                    # exception is the one that must propagate.
+                    if self.db.in_transaction:
+                        try:
+                            self.db.rollback(owner=session_id)
+                        except ReproError:
+                            pass
+                    raise
+            except MediaError:
+                self.stats.media_failures += 1
+                self.breaker.record_failure()
+                if self.breaker.state != "closed":
+                    self._demote("breaker")
+                raise
+            except IoError as exc:
+                attempt += 1
+                if attempt >= self.config.retry.max_attempts:
+                    raise
+                self.stats.io_retries += 1
+                delay = self.config.retry.delay_ns(attempt - 1, self.rng)
+                if (
+                    deadline_ns is not None
+                    and self.clock.now_ns + delay > deadline_ns
+                ):
+                    self.stats.deadline_misses += 1
+                    raise DeadlineExceeded(
+                        "retry backoff would overrun the request deadline"
+                    ) from exc
+                yield delay
+
+    def _acquire_writer(self, session_id: str, deadline_ns: float | None):
+        start_ns = self.clock.now_ns
+        while True:
+            try:
+                self.db.begin(owner=session_id)
+                return
+            except BusyError:
+                waited = self.clock.elapsed_since(start_ns)
+                if waited + self.config.busy_poll_ns > self.config.busy_timeout_ns:
+                    self.stats.busy_timeouts += 1
+                    raise
+                self._check_deadline(deadline_ns)
+                self.stats.busy_waits += 1
+                yield self.config.busy_poll_ns
+
+    def _apply_ops(self, ops, deadline_ns: float | None):
+        """Generator: apply keyed ops, pausing between statements.
+
+        Inserts act as upserts: after an indeterminate crash the client
+        resubmits a transaction that *may* have landed, and replaying
+        the same final value must converge instead of raising
+        :class:`DuplicateKey`.
+        """
+        table = self._table_name()
+        for i, (kind, key, value) in enumerate(ops):
+            if i and self.config.txn_op_pause_ns:
+                yield self.config.txn_op_pause_ns
+            self._check_deadline(deadline_ns)
+            if kind == "insert":
+                try:
+                    self.db.execute(
+                        f"INSERT INTO {table} VALUES (?, ?)", (key, value)
+                    )
+                except DuplicateKey:
+                    self.db.execute(
+                        f"UPDATE {table} SET v = ? WHERE k = ?", (value, key)
+                    )
+            elif kind == "update":
+                self.db.execute(
+                    f"UPDATE {table} SET v = ? WHERE k = ?", (value, key)
+                )
+            elif kind == "delete":
+                self.db.execute(f"DELETE FROM {table} WHERE k = ?", (key,))
+            else:
+                raise SqlError(f"unknown service op kind: {kind!r}")
+        return len(ops)
+
+    def _commit(self, session_id: str) -> None:
+        try:
+            self.db.commit(owner=session_id)
+        except IoError:
+            if self.db.in_transaction:
+                raise  # commit itself failed; caller rolls back and retries
+            # The transaction is durable; only the auto-checkpoint failed.
+            # That is a maintenance problem, not the client's.
+            self.stats.checkpoint_failures += 1
+
+    def _ack(self, session_id: str, ops) -> None:
+        self.stats.txns_acked += 1
+        if self.on_ack is not None:
+            self.on_ack(session_id, ops)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def submit_read(
+        self, session_id: str, sql: str, params: tuple = (),
+        deadline_ns: float | None = None,
+    ):
+        """Generator: serve one SELECT from the committed snapshot.
+
+        Reads are admitted in both modes — serving reads while degraded
+        is the whole point of degrading instead of dying.  An in-flight
+        writer is invisible: the pager rewinds dirtied pages to their
+        committed images for the duration of the read.
+        """
+        self._check_deadline(deadline_ns)
+        rows = yield from call_with_retry(
+            lambda: self.db.snapshot_query(sql, params),
+            self.config.retry,
+            self.rng,
+            self.clock,
+            deadline_ns=deadline_ns,
+        )
+        self.stats.reads_served += 1
+        return rows
+
+    # ------------------------------------------------------------------
+    # degradation / promotion
+    # ------------------------------------------------------------------
+
+    def _check_writable(self) -> None:
+        self._check_quarantine()
+        if self.mode == READ_ONLY:
+            if self.demotion_reason == "breaker":
+                self.stats.rejected_breaker_open += 1
+                raise CircuitOpenError(
+                    "media circuit breaker is open; writes refused"
+                )
+            self.stats.rejected_read_only += 1
+            raise ReadOnlyError(
+                f"service degraded to read-only ({self.demotion_reason})"
+            )
+
+    def _check_deadline(self, deadline_ns: float | None) -> None:
+        if deadline_ns is not None and self.clock.now_ns > deadline_ns:
+            self.stats.deadline_misses += 1
+            raise DeadlineExceeded(
+                f"request deadline passed at t={self.clock.now_ns:.0f}ns"
+            )
+
+    def _check_quarantine(self) -> None:
+        slots = len(self.system.heapo.quarantined_slots())
+        if slots > self._seen_quarantine:
+            self._seen_quarantine = slots
+            if slots >= self.config.quarantine_limit:
+                self._demote("quarantine")
+
+    def _demote(self, reason: str) -> None:
+        if self.mode == READ_ONLY:
+            return
+        self.mode = READ_ONLY
+        self.demotion_reason = reason
+        self.stats.demotions += 1
+
+    def _promote(self) -> None:
+        self.mode = READ_WRITE
+        self.demotion_reason = ""
+        self.breaker.record_success()
+        self.stats.promotions += 1
+
+    # ------------------------------------------------------------------
+    # maintenance daemon
+    # ------------------------------------------------------------------
+
+    def maintenance(self):
+        """Daemon generator: scrub, probe the breaker, re-promote.
+
+        Every tick while healthy, a cheap quarantine check runs.  While
+        degraded, the daemon attempts the re-promotion sequence once the
+        breaker allows a probe: scrub the log (read-only salvage-style
+        re-scan), checkpoint the committed images out of NVRAM into the
+        database file (which frees the decayed log blocks), then scrub
+        again — clean means the hardware serves reads correctly and the
+        durable state has been rebuilt, so read-write mode is safe.
+        """
+        while True:
+            yield self.config.maintenance_interval_ns
+            self._check_quarantine()
+            if self.mode == READ_WRITE:
+                # Background health check: a corrupt scrub while healthy
+                # feeds the breaker exactly like a request-path failure.
+                report = self._scrub()
+                if report is not None and report.corruption_detected:
+                    self.stats.media_failures += 1
+                    self.breaker.record_failure()
+                    if self.breaker.state != "closed":
+                        self._demote("breaker")
+                continue
+            if not self.breaker.allow_probe():
+                continue  # still cooling down
+            if self.db.in_transaction:
+                continue  # a pre-demotion writer is still unwinding
+            if self._repair():
+                self._promote()
+
+    def _scrub(self):
+        """One read-only log scrub; None when the probe itself blew up."""
+        self.stats.scrubs += 1
+        try:
+            return self.db.wal.verify_log()
+        except PowerFailure:
+            raise  # power loss is never a probe failure to absorb
+        except Exception:  # noqa: BLE001 - a probe must never kill the daemon
+            return None
+
+    def _repair(self) -> bool:
+        """The re-promotion sequence; True when the service is healthy."""
+        report = self._scrub()
+        if report is None:
+            self.breaker.record_failure()
+            return False
+        try:
+            # Checkpoint writes the committed DRAM images to the database
+            # file and frees every NVRAM log block — including decayed
+            # ones — so it doubles as the salvage step.
+            self.db.checkpoint()
+            if self.on_checkpoint is not None:
+                self.on_checkpoint()
+        except IoError:
+            self.stats.checkpoint_failures += 1
+            return False
+        after = self._scrub()
+        if after is None or after.corruption_detected:
+            self.breaker.record_failure()
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _table_name(self) -> str:
+        from repro.torture.workload import TABLE
+
+        return TABLE
+
+    def checkpoint_now(self):
+        """Foreground checkpoint (demo / shutdown path)."""
+        written = self.db.checkpoint()
+        if self.on_checkpoint is not None:
+            self.on_checkpoint()
+        return written

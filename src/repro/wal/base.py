@@ -110,3 +110,14 @@ class WalBackend(abc.ABC):
         if self.should_checkpoint():
             return self.checkpoint()
         return 0
+
+    def verify_log(self) -> RecoveryReport:
+        """Read-only scrub: re-validate log integrity without modifying
+        any backend state.
+
+        Backends living on media that can decay at runtime override this
+        to re-check their durable structures; the service layer uses the
+        report to decide whether degraded read-only mode can be lifted.
+        The default backend has nothing to scrub and reports clean.
+        """
+        return RecoveryReport()

@@ -527,6 +527,25 @@ class NvwalBackend(WalBackend):
         report.frames_dropped += len(pending)
         return committed, tail
 
+    def verify_log(self) -> RecoveryReport:
+        """Read-only scrub of the live NVRAM log.
+
+        Re-walks the durable block chain and re-parses every frame with
+        the same validity checks recovery applies, without touching the
+        allocator, the replay images, or the chain itself.  MediaErrors
+        from decayed units are absorbed into the report instead of
+        raised, so the service layer can probe NVRAM health (circuit
+        breaker half-open checks, degraded-mode re-promotion) between
+        requests.
+        """
+        report = RecoveryReport()
+        chain = self._walk_chain(report)
+        committed, _tail = self._scan_frames(chain, report)
+        report.frames_replayed = len(committed)
+        if report.corruption_detected:
+            report.frames_salvaged = len(committed)
+        return report
+
     def _truncate_chain_after(self, tail_block: NvAllocation) -> None:
         """Free chain blocks past ``tail_block`` and clear its next pointer."""
         try:

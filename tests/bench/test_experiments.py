@@ -20,6 +20,7 @@ def test_registry_covers_all_paper_artifacts():
         "motivation",
         "ablation_blocksize", "ablation_persistency", "ablation_diff",
         "ablation_recovery", "ablation_checkpoint",
+        "service_storm",
     }
     assert set(EXPERIMENTS) == expected
 

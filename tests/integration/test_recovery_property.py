@@ -82,7 +82,11 @@ def test_crash_recovers_committed_prefix(txns, crash_op, seed, scheme_index):
     system.reboot()
     db2 = make_nvwal_db(system, scheme)
     recovered = dict(db2.dump_table("t")) if db2.table_exists("t") else {}
-    assert recovered == committed
+    # A crash *inside* commit() may land after the commit mark persists:
+    # the in-flight transaction is then durably committed even though
+    # control never returned to the caller.  Both boundary states are
+    # correct recoveries; anything else is torn.
+    assert recovered in (committed, working)
 
 
 @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])

@@ -1,0 +1,158 @@
+"""Cooperative scheduler semantics: ordering, daemons, errors, crashes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PowerFailure, SqlError
+from repro.hw.clock import SimClock
+from repro.service.sched import Scheduler
+
+
+def test_jobs_interleave_by_wake_time():
+    clock = SimClock()
+    trace = []
+
+    def worker(name, delay):
+        for i in range(3):
+            trace.append((name, i, clock.now_ns))
+            yield delay
+
+    sched = Scheduler(clock)
+    sched.spawn("fast", worker("fast", 10))
+    sched.spawn("slow", worker("slow", 25))
+    sched.run()
+    # Per-job order is sequential; the merge is by wake time.
+    assert [t[:2] for t in trace if t[0] == "fast"] == [
+        ("fast", 0), ("fast", 1), ("fast", 2)]
+    assert trace[0][0] == "fast" and trace[1][0] == "slow"  # spawn order at t=0
+    fast_times = [t[2] for t in trace if t[0] == "fast"]
+    assert fast_times == [0, 10, 20]
+    slow_times = [t[2] for t in trace if t[0] == "slow"]
+    assert slow_times == [0, 25, 50]
+
+
+def test_run_is_deterministic():
+    def build():
+        clock = SimClock()
+        trace = []
+
+        def worker(name, delay):
+            for i in range(4):
+                trace.append((name, i, clock.now_ns))
+                yield delay
+
+        sched = Scheduler(clock)
+        for name, delay in (("a", 7), ("b", 7), ("c", 3)):
+            sched.spawn(name, worker(name, delay))
+        sched.run()
+        return trace
+
+    assert build() == build()
+
+
+def test_job_result_captured():
+    clock = SimClock()
+
+    def worker():
+        yield 5
+        return 42
+
+    sched = Scheduler(clock)
+    job = sched.spawn("w", worker())
+    sched.run()
+    assert job.done and job.result == 42 and job.error is None
+
+
+def test_daemon_abandoned_when_regular_jobs_drain():
+    clock = SimClock()
+    ticks = []
+
+    def daemon():
+        while True:
+            yield 10
+            ticks.append(clock.now_ns)
+
+    def worker():
+        yield 35
+
+    sched = Scheduler(clock)
+    sched.spawn("maint", daemon(), daemon=True)
+    sched.spawn("w", worker())
+    sched.run()
+    # The daemon ticked while the worker lived, then stopped with it.
+    assert ticks and ticks[-1] <= 40
+    assert sched._live_regular() is False
+
+
+def test_daemon_only_schedule_does_not_run_forever():
+    clock = SimClock()
+    sched = Scheduler(clock)
+    sched.spawn("maint", iter(lambda: 10, None), daemon=True)
+    sched.run()  # returns immediately: no regular jobs to serve
+
+
+def test_job_error_captured_not_raised():
+    clock = SimClock()
+
+    def bad():
+        yield 1
+        raise SqlError("boom")
+
+    def good():
+        yield 2
+        return "ok"
+
+    sched = Scheduler(clock)
+    bad_job = sched.spawn("bad", bad())
+    good_job = sched.spawn("good", good())
+    sched.run()
+    assert bad_job.error is not None and good_job.result == "ok"
+    assert sched.failed_jobs() == [bad_job]
+
+
+def test_power_failure_stops_the_world():
+    clock = SimClock()
+    after = []
+
+    def dying():
+        yield 1
+        raise PowerFailure("lights out")
+
+    def bystander():
+        yield 5
+        after.append(clock.now_ns)
+
+    sched = Scheduler(clock)
+    sched.spawn("dying", dying())
+    sched.spawn("bystander", bystander())
+    with pytest.raises(PowerFailure):
+        sched.run()
+    assert after == []  # nothing ran past the crash
+    sched.abandon()
+    assert all(j.done for j in sched.jobs)
+
+
+def test_abandon_suppresses_finally_blocks_exceptions():
+    clock = SimClock()
+    observed = []
+
+    def job():
+        try:
+            yield 1
+            yield 1
+        finally:
+            observed.append("cleanup")
+            raise SqlError("cleanup blew up")
+
+    sched = Scheduler(clock)
+    sched.spawn("j", job())
+    with pytest.raises(PowerFailure):
+        sched.spawn("killer", iter(_raise_power, None))
+        sched.run()
+    sched.abandon()  # must not propagate the finally-block error
+    assert "cleanup" in observed
+
+
+def _raise_power():
+    raise PowerFailure("armed")

@@ -202,3 +202,51 @@ class TestJournalSalvage:
         assert report.frames_replayed == 1
         assert report.frames_dropped == 1
         assert db_file.read(0, page_size) == orig1
+
+
+class TestVerifyLog:
+    """The read-only scrub the service layer uses to probe NVRAM health."""
+
+    def test_clean_log_scrubs_clean_and_is_read_only(self):
+        system = System(tuna(), seed=0)
+        db = make_nvwal_db(system)
+        db.execute(DDL)
+        for i in range(N_ROWS):
+            db.execute(f"INSERT INTO t VALUES ({i}, 'v{i}')")
+        frames_before = db.wal.frame_count()
+        blocks_before = [a.addr for a in db.wal.userheap.blocks]
+        report = db.wal.verify_log()
+        assert not report.corruption_detected
+        assert report.frames_replayed == frames_before
+        assert report.frames_dropped == 0
+        # Scrubbing mutates nothing.
+        assert db.wal.frame_count() == frames_before
+        assert [a.addr for a in db.wal.userheap.blocks] == blocks_before
+        assert db.query("SELECT COUNT(*) FROM t") == [(N_ROWS,)]
+
+    def test_runtime_decay_is_reported_not_raised(self):
+        system = System(tuna(), seed=0)
+        db = make_nvwal_db(system)
+        db.execute(DDL)
+        for i in range(N_ROWS):
+            db.execute(f"INSERT INTO t VALUES ({i}, 'v{i}')")
+        # Decay NVRAM *at runtime* (no power loss): the scrub must absorb
+        # the MediaErrors into its report instead of raising.
+        injector = NvramFaultInjector(MediaFaultSpec(poison_units=8), seed=3)
+        injector.on_power_loss(system.nvram)
+        system.nvram.fault_injector = injector
+        report = db.wal.verify_log()
+        assert report.corruption_detected
+        assert report.reason
+        # Clearing the decay makes the scrub clean again.
+        system.nvram.fault_injector = None
+        assert not db.wal.verify_log().corruption_detected
+
+    def test_default_backend_scrubs_clean(self):
+        system = System(tuna(), seed=0)
+        db = make_file_db(system)
+        db.execute(DDL)
+        db.execute("INSERT INTO t VALUES (1, 'x')")
+        report = db.wal.verify_log()
+        assert not report.corruption_detected
+        assert report.frames_replayed == 0
