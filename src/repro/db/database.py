@@ -237,6 +237,46 @@ class Database:
         if self.auto_checkpoint:
             self.wal.maybe_checkpoint()
 
+    def group_commit(self, owner: object = None) -> None:
+        """Commit into the WAL's shared group-commit epoch.
+
+        Like :meth:`commit`, but the transaction's frames join the open
+        epoch (opening one if needed) instead of being made individually
+        durable — the writer slot is released immediately, durability
+        arrives when :meth:`flush_group` closes the epoch.  The caller
+        (normally the service layer's commit coalescer) must not
+        acknowledge the transaction before then.
+        """
+        if not self._in_explicit_txn:
+            raise TransactionError("no transaction in progress")
+        self._check_owner(owner)
+        self.system.cpu.compute(
+            self.system.config.db_costs.txn_base_ns, TimeBucket.CPU
+        )
+        if not self.wal.group_open:
+            self.wal.group_begin()
+        self.wal.group_append(
+            self.pager.dirty_pages(), pre_images=self.pager.pre_images()
+        )
+        self.pager.commit_finish()
+        self._in_explicit_txn = False
+        self._txn_owner = None
+        # No auto-checkpoint here: checkpointing is illegal while the
+        # epoch is open; flush_group runs the policy instead.
+
+    def flush_group(self) -> int:
+        """Close the open group-commit epoch (no-op without one).
+
+        Returns the number of transactions made durable.  Runs the
+        auto-checkpoint policy afterwards, now that the log is epoch-free.
+        """
+        if not self.wal.group_open:
+            return 0
+        txns = self.wal.group_close()
+        if self.auto_checkpoint:
+            self.wal.maybe_checkpoint()
+        return txns
+
     def rollback(self, owner: object = None) -> None:
         """Abort the open transaction, restoring pre-images."""
         if not self._in_explicit_txn:
@@ -264,6 +304,7 @@ class Database:
         empty."""
         if self._in_explicit_txn:
             raise TransactionError("cannot close inside a transaction")
+        self.flush_group()  # an open epoch must land before the checkpoint
         self.wal.checkpoint()
 
     def _autocommit(self, stmt: ast.Statement, params: tuple):

@@ -123,20 +123,21 @@ class Cpu:
         memory subsystem while the CPU keeps copying — their write latency
         hides under the memcpy, so a later dccmvac for them is nearly free
         (lazy synchronization's masking effect, Section 5.1)."""
-        threshold = self.config.cache.eviction_threshold_lines
-        evictions = 0
-        while self.cache.dirty_line_count() > threshold:
-            evicted = self.cache.evict_oldest_dirty()
+        cache = self.cache
+        excess = cache.dirty_line_count() - self.config.cache.eviction_threshold_lines
+        if excess <= 0:
+            return
+        now = self.clock.now_ns
+        pending = self.pending
+        for _ in range(excess):
+            evicted = cache.evict_oldest_dirty()
             if evicted is None:
                 break
             addr, data = evicted
-            now = self.clock.now_ns
-            self.pending.append(PendingPersist(addr, data, now))
-            if now > self._pending_max_completion:
-                self._pending_max_completion = now
-            evictions += 1
-        if evictions:
-            self.stats.count("cache_evictions", evictions)
+            pending.append(PendingPersist(addr, data, now))
+        if now > self._pending_max_completion:
+            self._pending_max_completion = now
+        self.stats.count("cache_evictions", excess)
 
     def load(self, addr: int, length: int) -> bytes:
         """Read the volatile view of NVRAM (cache overlay over device).
@@ -311,11 +312,7 @@ class Cpu:
         self.stats.add_time(TimeBucket.PERSIST_BARRIER, self.clock.now_ns - start)
         self.stats.count(statnames.PERSIST_BARRIERS)
         if self.pending:
-            persist = self.nvram.persist
-            bytes_written = 0
-            for entry in self.pending:
-                persist(entry.addr, entry.data)
-                bytes_written += len(entry.data)
+            bytes_written = self.nvram.persist_lines(self.pending)
             self.stats.count(statnames.NVRAM_LINES_PERSISTED, len(self.pending))
             self.stats.count(statnames.NVRAM_BYTES_WRITTEN, bytes_written)
             self.pending.clear()

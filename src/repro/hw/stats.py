@@ -49,7 +49,9 @@ class Stats:
 
     def add_time(self, bucket: TimeBucket, ns: float) -> None:
         """Charge ``ns`` nanoseconds of simulated time to ``bucket``."""
-        self.time_ns[bucket.value] += ns
+        # _value_ is a plain attribute; .value would go through the
+        # DynamicClassAttribute descriptor on every hot-path call.
+        self.time_ns[bucket._value_] += ns
 
     # -- reading -----------------------------------------------------------
 

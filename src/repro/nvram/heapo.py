@@ -122,7 +122,12 @@ class Heapo:
         self.nvram.persist(_SUPERBLOCK_SIZE, empty * self.num_slots)
         self._slots = [(BlockState.FREE, 0, 0, "")] * self.num_slots
         self._quarantined = {}
-        self._rebuild_indexes()
+        # An all-free table indexes trivially; skip the _rebuild_indexes
+        # scan (it dominated fresh-system setup in benchmarks).
+        self._by_addr = {}
+        self._by_name = {}
+        self._live = set()
+        self._free_slots = list(range(self.num_slots))
 
     def attach(self) -> None:
         """Rebuild the volatile allocator state from durable descriptors.

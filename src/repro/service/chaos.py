@@ -79,12 +79,16 @@ class ChaosScenario:
     #: primitive-op counts (per power-on epoch) at which power is cut.
     power_cycles: tuple = ()
     checkpoint_threshold: int = DEFAULT_CHAOS_THRESHOLD
-    #: plant the ack-before-commit bug (harness self-test).
+    #: plant the ack-before-commit bug (harness self-test).  With
+    #: ``group_commit`` this acks parked writers before the epoch
+    #: barrier — the ack-before-epoch-barrier bug class.
     sabotage: bool = False
     #: cut power after the clean drain and prove recovery one last time.
     final_power_cycle: bool = True
     #: issue a freshness-checked read after every Nth acked txn.
     read_every: int = 2
+    #: run the service with the commit coalescer (epoch-batched WAL).
+    group_commit: bool = False
 
 
 @dataclass(frozen=True)
@@ -162,6 +166,7 @@ def make_scenario(
     power_cycles: int = 0,
     checkpoint_threshold: int = DEFAULT_CHAOS_THRESHOLD,
     sabotage: bool = False,
+    group_commit: bool = False,
 ) -> ChaosScenario:
     """Build a scenario; crash points are placed by profiling.
 
@@ -186,6 +191,7 @@ def make_scenario(
         storms=storms,
         checkpoint_threshold=checkpoint_threshold,
         sabotage=sabotage,
+        group_commit=group_commit,
     )
     if power_cycles > 0:
         total = _measure_ops(scenario)
@@ -235,6 +241,9 @@ class _Driver:
         self.kv: dict = {}
         #: durability floor (index into acks) from completed checkpoints.
         self.floor = 0
+        #: group commit: (session_id, ops) applied into the open epoch —
+        #: visible to readers, not yet durable or acknowledged.
+        self.applied_tail: list = []
         self.storms_done = 0
         self.crashes = 0
         self.shed_acked = 0
@@ -267,12 +276,28 @@ class _Driver:
         return out
 
     def _on_ack(self, session_id: str, ops) -> None:
+        if self.applied_tail and self.applied_tail[0] == (session_id, ops):
+            self.applied_tail.pop(0)  # the epoch flush is acking in order
         self.kv = self._fold(self.kv, ops)
         self.acks.append((session_id, list(ops)))
         self.states.append(sorted(self.kv.items()))
 
+    def _on_apply(self, session_id: str, ops) -> None:
+        """A transaction joined the open epoch: readers see it already,
+        the durable ack comes at the epoch barrier."""
+        self.applied_tail.append((session_id, ops))
+
     def _check_read(self, rows) -> None:
-        if sorted(rows) != self.states[len(self.acks)]:
+        expected = self.states[len(self.acks)]
+        if self.applied_tail:
+            # Group commit: the snapshot legitimately includes applied-
+            # but-unacked epoch members (commit order is fixed the moment
+            # they join the epoch).
+            kv = dict(self.kv)
+            for _sid, ops in self.applied_tail:
+                kv = self._fold(kv, ops)
+            expected = sorted(kv.items())
+        if sorted(rows) != expected:
             self.stale_reads += 1
             self.violations.append(
                 f"stale-read: read returned {len(rows)} row(s) not matching "
@@ -317,7 +342,9 @@ class _Driver:
 
     # -- oracle --------------------------------------------------------
 
-    def _check_recovery(self, db: Database, inflight_heads) -> None:
+    def _check_recovery(
+        self, db: Database, inflight_heads, epoch_members=()
+    ) -> None:
         """Ack-durability oracle; rebases the model on a legitimate shed."""
         if not db.table_exists(TABLE):
             self.violations.append(
@@ -329,6 +356,18 @@ class _Driver:
         rows = sorted(db.dump_table(TABLE))
         n = len(self.acks)
         floor = min(self.floor, n) if self.relaxed else n
+        # Whole-epoch landing (group commit): the epoch's close mark
+        # persisted before the lights went out, so *all* of its members
+        # are durable — none of them acked.  Adopt them in commit order;
+        # the clients' resubmissions are idempotent.
+        if epoch_members:
+            kv = dict(self.kv)
+            for _sid, ops in epoch_members:
+                kv = self._fold(kv, ops)
+            if rows == sorted(kv.items()) and rows != self.states[n]:
+                for sid, ops in epoch_members:
+                    self._on_ack(sid, ops)
+                return
         # In-flight landing: an unacknowledged head-of-queue txn whose
         # commit mark persisted before the lights went out.
         for sid, head in inflight_heads:
@@ -392,7 +431,10 @@ class _Driver:
         else:
             raise IoError("setup checkpoint did not survive bounded retries")
 
-        config = ServiceConfig(ack_before_commit=scenario.sabotage)
+        config = ServiceConfig(
+            ack_before_commit=scenario.sabotage,
+            group_commit=scenario.group_commit,
+        )
         clients = [
             ClientSession(
                 service=None,  # attached per epoch
@@ -414,7 +456,11 @@ class _Driver:
         while True:
             scheduler = Scheduler(system.clock)
             service = DatabaseService(
-                db, config, seed=scenario.seed, on_ack=self._on_ack
+                db,
+                config,
+                seed=scenario.seed,
+                on_ack=self._on_ack,
+                on_apply=self._on_apply,
             )
             live = False
             for client in clients:
@@ -428,6 +474,10 @@ class _Driver:
             if not live:
                 break
             scheduler.spawn("maintenance", service.maintenance(), daemon=True)
+            if scenario.group_commit:
+                scheduler.spawn(
+                    "batcher", service.commit_batcher(), daemon=True
+                )
             if self.storms_done < scenario.storms:
                 scheduler.spawn(
                     "storms", self._storm_job(system), daemon=True
@@ -450,13 +500,15 @@ class _Driver:
                     for c in clients
                     if c.pending and not c.gave_up
                 ]
+                members = service.epoch_members()
                 scheduler.abandon()
                 self._absorb_stats(service)
+                self.applied_tail.clear()  # volatile epoch state is gone
                 system.power_fail()
                 db = self._recover(system)
                 if db is None:
                     return self._outcome(system, None)
-                self._check_recovery(db, inflight)
+                self._check_recovery(db, inflight, epoch_members=members)
                 epoch += 1
             self.epochs = epoch
 
@@ -579,6 +631,7 @@ def scenario_to_dict(scenario: ChaosScenario) -> dict:
         "sabotage": scenario.sabotage,
         "final_power_cycle": scenario.final_power_cycle,
         "read_every": scenario.read_every,
+        "group_commit": scenario.group_commit,
     }
 
 
@@ -600,6 +653,7 @@ def scenario_from_dict(data: dict) -> ChaosScenario:
         sabotage=data.get("sabotage", False),
         final_power_cycle=data.get("final_power_cycle", True),
         read_every=data.get("read_every", 2),
+        group_commit=data.get("group_commit", False),
     )
 
 
@@ -622,6 +676,7 @@ class ChaosTask:
     power_cycles: int = 1
     checkpoint_threshold: int = DEFAULT_CHAOS_THRESHOLD
     sabotage: bool = False
+    group_commit: bool = False
 
 
 def run_task(task: ChaosTask) -> dict:
@@ -642,6 +697,7 @@ def run_task(task: ChaosTask) -> dict:
         power_cycles=task.power_cycles,
         checkpoint_threshold=task.checkpoint_threshold,
         sabotage=task.sabotage,
+        group_commit=task.group_commit,
     )
     outcome = run_chaos(scenario)
     result = dict(outcome.summary)

@@ -101,11 +101,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--replay", metavar="TRACE", help="replay one recorded trace and exit"
     )
     parser.add_argument(
+        "--group-commit",
+        action="store_true",
+        help="enable the commit coalescer: writers park in a shared WAL "
+        "epoch and a batcher daemon closes it on size/age thresholds; acks "
+        "are released only after the epoch barrier",
+    )
+    parser.add_argument(
         "--sabotage",
         action="store_true",
-        help="self-test: acknowledge clients before the commit is durable; "
-        "the sweep must find, minimize, and deterministically replay an "
-        "ack-lost violation",
+        help="self-test: acknowledge clients before the commit is durable "
+        "(with --group-commit, before the epoch barrier); the sweep must "
+        "find, minimize, and deterministically replay an ack-lost violation",
     )
     parser.add_argument(
         "--no-minimize",
@@ -203,6 +210,7 @@ def main(argv=None) -> int:
             power_cycles=args.power_cycles,
             checkpoint_threshold=args.checkpoint_threshold,
             sabotage=args.sabotage,
+            group_commit=args.group_commit,
         )
         for seed in range(args.seeds)
     ]
@@ -210,7 +218,9 @@ def main(argv=None) -> int:
         f"chaos: {args.seeds} seed(s) x {args.sessions} session(s) x "
         f"{args.txns} txns, scheme={args.scheme}, faults={','.join(faults)}, "
         f"storms={args.storms}, power_cycles={args.power_cycles}, "
-        f"jobs={args.jobs}" + (", SABOTAGE" if args.sabotage else "")
+        f"jobs={args.jobs}"
+        + (", GROUP-COMMIT" if args.group_commit else "")
+        + (", SABOTAGE" if args.sabotage else "")
     )
     results = parallel_map(run_task, tasks, jobs=args.jobs)
     failures: list[dict] = []

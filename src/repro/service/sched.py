@@ -52,8 +52,11 @@ class Scheduler:
     def __init__(self, clock: SimClock) -> None:
         self.clock = clock
         self._seq = 0
-        #: min-heap of (wake_ns, seq, Job)
-        self._ready: list[tuple[float, int, Job]] = []
+        #: min-heap of (wake_ns, seq, Job) — wake times are *integer*
+        #: nanoseconds: floats lose whole nanoseconds past 2**53, which
+        #: would silently collapse distinct wake times (and their FIFO
+        #: tie-breaks) on long chaos runs.
+        self._ready: list[tuple[int, int, Job]] = []
         self.jobs: list[Job] = []
 
     def spawn(self, name: str, gen: Generator, daemon: bool = False) -> Job:
@@ -64,8 +67,14 @@ class Scheduler:
         return job
 
     def _push(self, job: Job, wake_ns: float) -> None:
+        # Ceil to whole nanoseconds: the simulated clock may sit on a
+        # fractional ns (hardware costs are floats), but a job must never
+        # wake *before* the time it asked for.
+        wake = int(wake_ns)
+        if wake < wake_ns:
+            wake += 1
         self._seq += 1
-        heapq.heappush(self._ready, (wake_ns, self._seq, job))
+        heapq.heappush(self._ready, (wake, self._seq, job))
 
     def _live_regular(self) -> bool:
         return any(not j.done and not j.daemon for j in self.jobs)

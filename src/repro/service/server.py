@@ -75,9 +75,23 @@ class ServiceConfig:
     #: scheduler steps, so other sessions really do busy-wait and readers
     #: really do overlap an in-flight writer.
     txn_op_pause_ns: int = 100_000  # 0.1 ms
+    #: Group commit: committed transactions join a shared WAL epoch and
+    #: park until the epoch is closed — one flush + persist-barrier
+    #: sequence covers the whole batch, and acks are released only after
+    #: that barrier.
+    group_commit: bool = False
+    #: Close the epoch as soon as it holds this many transactions.
+    max_epoch_txns: int = 8
+    #: ...or once its first member has waited this long (the batcher
+    #: daemon enforces the age bound, so a lone writer is never parked
+    #: for more than roughly this).
+    max_epoch_delay_ns: int = 400_000  # 0.4 ms
+    #: Cadence of the batcher daemon's epoch-age check.
+    batcher_poll_ns: int = 100_000  # 0.1 ms
     #: Self-test sabotage: acknowledge the client *before* the commit is
-    #: durable.  Exists so the chaos harness can prove its acked-vs-
-    #: recovered oracle catches exactly this bug class.
+    #: durable.  With ``group_commit`` this acks parked writers before
+    #: the epoch barrier.  Exists so the chaos harness can prove its
+    #: acked-vs-recovered oracle catches exactly this bug class.
     ack_before_commit: bool = False
 
 
@@ -98,9 +112,22 @@ class ServiceStats:
     rejected_read_only: int = 0
     rejected_breaker_open: int = 0
     scrubs: int = 0
+    epochs_flushed: int = 0
 
     def as_dict(self) -> dict:
         return dict(vars(self))
+
+
+class _CommitTicket:
+    """One parked writer's claim on the open group-commit epoch."""
+
+    __slots__ = ("session_id", "ops", "done", "error")
+
+    def __init__(self, session_id: str, ops) -> None:
+        self.session_id = session_id
+        self.ops = ops
+        self.done = False
+        self.error: BaseException | None = None
 
 
 class DatabaseService:
@@ -113,6 +140,7 @@ class DatabaseService:
         seed: int = 0,
         on_ack=None,
         on_checkpoint=None,
+        on_apply=None,
     ) -> None:
         self.db = db
         self.system = db.system
@@ -133,7 +161,18 @@ class DatabaseService:
         #: Called with no arguments after every successful checkpoint —
         #: the chaos oracle's durability floor under relaxed schemes.
         self.on_checkpoint = on_checkpoint
+        #: Called as ``on_apply(session_id, ops)`` when a transaction is
+        #: applied into the open epoch (visible to readers, not yet
+        #: durable or acknowledged) — the chaos freshness model.
+        self.on_apply = on_apply
         self._seen_quarantine = len(self.system.heapo.quarantined_slots())
+        #: Parked writers of the open epoch, in commit order.
+        self._epoch_queue: list[_CommitTicket] = []
+        self._epoch_opened_ns = 0
+        #: The batch currently inside _flush_epoch — kept visible so a
+        #: power failure mid-flush still exposes the epoch's members to
+        #: the crash oracle (the close mark may or may not have landed).
+        self._flushing: tuple[_CommitTicket, ...] = ()
 
     # ------------------------------------------------------------------
     # write path
@@ -158,7 +197,10 @@ class DatabaseService:
                 yield from self._acquire_writer(session_id, deadline_ns)
                 try:
                     applied = yield from self._apply_ops(ops, deadline_ns)
-                    if self.config.ack_before_commit:
+                    if self.config.group_commit:
+                        ticket = self._join_epoch(session_id, ops)
+                        yield from self._await_ticket(ticket)
+                    elif self.config.ack_before_commit:
                         self._ack(session_id, ops)
                         self._commit(session_id)
                     else:
@@ -263,6 +305,109 @@ class DatabaseService:
             self.on_ack(session_id, ops)
 
     # ------------------------------------------------------------------
+    # commit coalescer (group commit)
+    # ------------------------------------------------------------------
+
+    def _join_epoch(self, session_id: str, ops) -> _CommitTicket:
+        """Commit into the shared epoch and enqueue the durable-ack claim.
+
+        The writer slot is released here; durability (and the ack) comes
+        when the epoch is flushed — immediately if this commit reached
+        the size threshold, otherwise when the batcher daemon's age bound
+        fires.
+        """
+        self.db.group_commit(owner=session_id)
+        ticket = _CommitTicket(session_id, ops)
+        self._epoch_queue.append(ticket)
+        if len(self._epoch_queue) == 1:
+            self._epoch_opened_ns = self.clock.now_ns
+        if self.on_apply is not None:
+            self.on_apply(session_id, ops)
+        if len(self._epoch_queue) >= self.config.max_epoch_txns:
+            self._flush_epoch()
+        return ticket
+
+    def _await_ticket(self, ticket: _CommitTicket):
+        """Generator: park until the epoch barrier releases the ticket.
+
+        The transaction's commit point has passed — it *will* be in the
+        next closed epoch — so the request deadline no longer applies:
+        abandoning the wait could strand a transaction that becomes
+        durable without its client ever learning so.
+        """
+        while not ticket.done:
+            yield self.config.busy_poll_ns
+        if ticket.error is not None:
+            raise ticket.error
+
+    def _flush_epoch(self) -> None:
+        """Close the epoch: one barrier sequence, then ack every member.
+
+        Acks are emitted in the same scheduler step as the barrier (no
+        yield in between), so there is no window where a transaction is
+        durable-and-acked for some members but lost for others.  The
+        ``ack_before_commit`` sabotage inverts exactly this: acks go out
+        before the barrier, which the chaos oracle must catch.
+        """
+        if not self._epoch_queue:
+            if self.db.wal.group_open:
+                # Orphan epoch (no parked writers): just land it.
+                self.db.flush_group()
+            return
+        tickets = self._epoch_queue
+        self._epoch_queue = []
+        self._flushing = tuple(tickets)
+        if self.config.ack_before_commit:
+            for ticket in tickets:  # sabotage: ack ahead of the barrier
+                self._ack(ticket.session_id, ticket.ops)
+        try:
+            self.db.flush_group()
+        except PowerFailure:
+            raise  # _flushing stays set: the oracle reads the members
+        except ReproError as exc:
+            if self.db.wal.group_open:
+                # The close itself failed: the epoch is not durable.
+                # Fail every parked writer; their sessions retry.
+                for ticket in tickets:
+                    ticket.error = exc
+                    ticket.done = True
+                self._flushing = ()
+                raise
+            # Epoch closed durably; only the auto-checkpoint failed.
+            self.stats.checkpoint_failures += 1
+        if not self.config.ack_before_commit:
+            for ticket in tickets:
+                self._ack(ticket.session_id, ticket.ops)
+        self.stats.epochs_flushed += 1
+        for ticket in tickets:
+            ticket.done = True
+        self._flushing = ()
+
+    def commit_batcher(self):
+        """Daemon generator: close the epoch once its age bound expires.
+
+        The size bound is enforced inline by :meth:`_join_epoch`; this
+        daemon guarantees progress for partially filled epochs (a lone
+        writer is parked for at most ~``max_epoch_delay_ns``)."""
+        while True:
+            yield self.config.batcher_poll_ns
+            if not self._epoch_queue:
+                continue
+            age = self.clock.elapsed_since(self._epoch_opened_ns)
+            if age >= self.config.max_epoch_delay_ns:
+                self._flush_epoch()
+
+    def epoch_members(self) -> list[tuple[str, object]]:
+        """Transactions sitting in the open (or mid-flush) epoch.
+
+        After a power failure these are the crash oracle's whole-epoch
+        adoption candidates: either the close mark landed and *all* of
+        them are durable, or it did not and none is."""
+        return [
+            (t.session_id, t.ops) for t in (*self._flushing, *self._epoch_queue)
+        ]
+
+    # ------------------------------------------------------------------
     # read path
     # ------------------------------------------------------------------
 
@@ -364,6 +509,13 @@ class DatabaseService:
                 continue  # still cooling down
             if self.db.in_transaction:
                 continue  # a pre-demotion writer is still unwinding
+            if self._epoch_queue or self.db.wal.group_open:
+                # A pre-demotion epoch is still open; the repair
+                # checkpoint cannot run until it lands.
+                try:
+                    self._flush_epoch()
+                except ReproError:
+                    continue
             if self._repair():
                 self._promote()
 
@@ -410,6 +562,7 @@ class DatabaseService:
 
     def checkpoint_now(self):
         """Foreground checkpoint (demo / shutdown path)."""
+        self._flush_epoch()  # an open epoch must land first
         written = self.db.checkpoint()
         if self.on_checkpoint is not None:
             self.on_checkpoint()

@@ -134,8 +134,14 @@ class Ext4FileSystem:
         # volatile state, rebuilt by mount()
         self._inodes: list[Inode] = []
         self._dir: dict[str, int] = {}
+        # Free-space tracking is lazy: ``_free_heap`` holds only recycled
+        # blocks; everything at or past ``_free_cursor`` that is not in
+        # ``_used_set`` is virgin-free.  Allocation still hands out the
+        # globally lowest free block (min of heap top and cursor), so the
+        # layout is identical to a fully materialized free set — without
+        # building a set over the whole data area on every mount.
         self._free_heap: list[int] = []
-        self._free_set: set[int] = set()
+        self._free_cursor = self.data_start
         self._used_set: set[int] = set()
         self._page_cache: dict[tuple[int, int], bytearray] = {}
         self._dirty_pages: set[tuple[int, int]] = set()
@@ -260,10 +266,13 @@ class Ext4FileSystem:
                 )
                 if used:
                     self._dir[name_b.rstrip(b"\x00").decode()] = ino
-        # bitmap -> used set; free set is its complement over the data area
+        # bitmap -> used set; free space is its (lazy) complement over the
+        # data area, tracked by cursor + recycle heap instead of a set.
         self._used_set = set()
         for i in range(self.bitmap_blocks):
             img = block_image(self.bitmap_start + i)
+            if not any(img):
+                continue  # fresh filesystems are almost entirely zero
             base_bit = i * self.page_size * 8
             for byte_idx, byte in enumerate(img):
                 if byte == 0:
@@ -273,11 +282,8 @@ class Ext4FileSystem:
                         bno = self.data_start + base_bit + byte_idx * 8 + bit
                         if bno < self.device.num_pages:
                             self._used_set.add(bno)
-        self._free_set = (
-            set(range(self.data_start, self.device.num_pages)) - self._used_set
-        )
-        self._free_heap = sorted(self._free_set)
-        heapq.heapify(self._free_heap)
+        self._free_heap = []
+        self._free_cursor = self.data_start
 
         self._page_cache.clear()
         self._dirty_pages.clear()
@@ -606,7 +612,7 @@ class Ext4FileSystem:
 
     def _encode_gdesc_block(self) -> bytes:
         used = len(self._used_set)
-        free = len(self._free_set)
+        free = self.device.num_pages - self.data_start - used
         return struct.pack("<QQ", free, used).ljust(self.page_size, b"\x00")
 
     def _encode_dir_block(self, index: int) -> bytes:
@@ -630,20 +636,38 @@ class Ext4FileSystem:
     # ------------------------------------------------------------------
 
     def _alloc_block(self) -> int:
-        while self._free_heap:
-            bno = heapq.heappop(self._free_heap)
-            if bno in self._free_set:
-                self._free_set.discard(bno)
-                self._used_set.add(bno)
-                self._mark_bitmap_dirty(bno)
-                self._gdesc_dirty = True
-                return bno
-        raise OutOfSpace("no free data blocks")
+        used = self._used_set
+        heap = self._free_heap
+        # Recycled entries may have been overtaken by the cursor and
+        # re-allocated; drop stale heads before comparing.
+        while heap and heap[0] in used:
+            heapq.heappop(heap)
+        n = self.device.num_pages
+        cursor = self._free_cursor
+        while cursor < n and cursor in used:
+            cursor += 1
+        if heap and (cursor >= n or heap[0] < cursor):
+            bno = heapq.heappop(heap)
+            self._free_cursor = cursor
+        elif cursor < n:
+            bno = cursor
+            self._free_cursor = cursor + 1
+        else:
+            raise OutOfSpace("no free data blocks")
+        used.add(bno)
+        self._mark_bitmap_dirty(bno)
+        self._gdesc_dirty = True
+        return bno
+
+    def _is_free(self, bno: int) -> bool:
+        return (
+            self.data_start <= bno < self.device.num_pages
+            and bno not in self._used_set
+        )
 
     def _free_block(self, bno: int) -> None:
-        if bno in self._free_set:
+        if self._is_free(bno):
             raise FsConsistencyError(f"double free of block {bno}")
-        self._free_set.add(bno)
         self._used_set.discard(bno)
         heapq.heappush(self._free_heap, bno)
         self._mark_bitmap_dirty(bno)

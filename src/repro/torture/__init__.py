@@ -27,6 +27,7 @@ from repro.torture.workload import (
     DDL,
     TABLE,
     apply_txn,
+    apply_txn_grouped,
     generate_txns,
     model_states,
     run_workload,
@@ -41,6 +42,7 @@ __all__ = [
     "TABLE",
     "TortureScenario",
     "apply_txn",
+    "apply_txn_grouped",
     "build_fault_plan",
     "generate_txns",
     "make_scenario",

@@ -81,6 +81,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_TORTURE_THRESHOLD,
         help="WAL frames per checkpoint (small = frequent checkpoints)",
     )
+    parser.add_argument(
+        "--group-epoch",
+        type=int,
+        default=0,
+        metavar="N",
+        help="commit through the WAL group-commit path, closing the shared "
+        "epoch every N transactions (0 = per-transaction durability); the "
+        "state oracle then only accepts whole-epoch boundaries",
+    )
     parser.add_argument("--jobs", type=int, default=1, help="parallel seed workers")
     parser.add_argument(
         "--trace-dir",
@@ -188,12 +197,14 @@ def main(argv=None) -> int:
             recovery_points=args.recovery_points,
             checkpoint_threshold=args.checkpoint_threshold,
             sabotage=args.sabotage,
+            group_epoch=args.group_epoch,
         )
         for seed in range(args.seeds)
     ]
     print(
         f"torture: {args.seeds} seed(s) x {args.ops} ops, scheme={args.scheme}, "
         f"faults={','.join(faults)}, stride={args.stride}, jobs={args.jobs}"
+        + (f", GROUP-EPOCH={args.group_epoch}" if args.group_epoch else "")
         + (", SABOTAGE" if args.sabotage else "")
     )
     results = parallel_map(run_seed, tasks, jobs=args.jobs)

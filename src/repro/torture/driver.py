@@ -38,6 +38,7 @@ from repro.torture.workload import (
     NO_TABLE,
     TABLE,
     apply_txn,
+    apply_txn_grouped,
     generate_txns,
     model_states,
     run_workload,
@@ -98,6 +99,12 @@ class TortureScenario:
     plan: FaultPlan | None = None
     checkpoint_threshold: int = DEFAULT_TORTURE_THRESHOLD
     sabotage: bool = False
+    #: > 0: commit through the WAL's group-commit path, closing the
+    #: shared epoch every ``group_epoch`` transactions.  Durability then
+    #: arrives only at epoch closes, so the state oracle restricts the
+    #: allowed boundaries to them: a crash inside an open epoch must
+    #: lose the whole epoch, never a transaction from a closed one.
+    group_epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -160,6 +167,7 @@ def make_scenario(
     txn_size: int = 3,
     checkpoint_threshold: int = DEFAULT_TORTURE_THRESHOLD,
     sabotage: bool = False,
+    group_epoch: int = 0,
 ) -> TortureScenario:
     """Generate the base (no-crash-point) scenario for a seed."""
     if scheme not in SCHEMES:
@@ -171,6 +179,7 @@ def make_scenario(
         plan=build_fault_plan(seed, faults),
         checkpoint_threshold=checkpoint_threshold,
         sabotage=sabotage,
+        group_epoch=group_epoch,
     )
 
 
@@ -224,10 +233,21 @@ def profile_scenario(scenario: TortureScenario) -> Profile:
     db.wal.checkpoint = tracked_checkpoint
     db.execute(DDL)
     bounds.append(counter[0])
+    group = scenario.group_epoch
     for i, txn in enumerate(scenario.txns):
         boundary[0] = i + 2
-        apply_txn(db, txn)
+        if group > 0:
+            apply_txn_grouped(db, txn)
+            if (i + 1) % group == 0:
+                db.flush_group()
+        else:
+            apply_txn(db, txn)
         bounds.append(counter[0])
+    if group > 0:
+        # The drain flush belongs to the last boundary: a crash before it
+        # completes must not count that epoch as committed.
+        db.flush_group()
+        bounds[-1] = counter[0]
     system.cpu.crash_hook = None
     return Profile(
         total_ops=counter[0],
@@ -269,7 +289,7 @@ def _run_until_crash(scenario: TortureScenario) -> tuple[System, bool]:
     if scenario.crash_point > 0:
         system.crash.arm(scenario.crash_point)
     try:
-        run_workload(db, scenario.txns)
+        run_workload(db, scenario.txns, group_epoch=scenario.group_epoch)
     except PowerFailure:
         crashed = True
     if not crashed and scenario.crash_point > 0:
@@ -353,18 +373,51 @@ def _run_scenario_checked(
     )
 
 
+def _close_boundaries(group_epoch: int, last_boundary: int) -> list[int]:
+    """Model boundaries that coincide with an epoch close under group
+    commit: the pre-DDL state, the individually-durable DDL, every
+    ``group_epoch``-th transaction, and the final drain flush."""
+    closes = [0]
+    if last_boundary >= 1:
+        closes.append(1)
+    b = 1 + group_epoch
+    while b < last_boundary:
+        closes.append(b)
+        b += group_epoch
+    if last_boundary > 1:
+        closes.append(last_boundary)
+    return closes
+
+
 def _allowed_boundaries(
     scenario: TortureScenario, profile: Profile, crashed: bool, last_boundary: int
 ) -> set[int]:
     """Which model boundaries a recovered database may legitimately show."""
-    if crashed:
-        k = scenario.crash_point
-        committed = max(
-            b for b, ops in enumerate(profile.bounds) if ops <= k - 1
-        )
-        high = min(committed + 1, last_boundary)  # the in-flight txn may land
+    if scenario.group_epoch > 0:
+        # Group commit quantizes durability to epoch closes: recovery
+        # replays the longest valid prefix of *whole* epochs.  A crash
+        # inside an open epoch loses every transaction in it; a crash
+        # during the close sequence may land the whole epoch atomically
+        # (the next close boundary) or none of it — never a part.
+        closes = _close_boundaries(scenario.group_epoch, last_boundary)
+        if crashed:
+            k = scenario.crash_point
+            committed = max(b for b in closes if profile.bounds[b] <= k - 1)
+            pending = [b for b in closes if b > committed]
+            high = pending[0] if pending else committed
+        else:
+            committed = high = last_boundary
+        allowed = {b for b in closes if committed <= b <= high}
     else:
-        committed = high = last_boundary
+        if crashed:
+            k = scenario.crash_point
+            committed = max(
+                b for b, ops in enumerate(profile.bounds) if ops <= k - 1
+            )
+            high = min(committed + 1, last_boundary)  # the in-flight txn may land
+        else:
+            committed = high = last_boundary
+        allowed = set(range(committed, high + 1))
     # Media decay and asynchronous (checksum) commit may legitimately shed
     # the WAL tail — but never below the last completed checkpoint, whose
     # pages are fsynced into the database file.
@@ -377,8 +430,11 @@ def _allowed_boundaries(
         for ops_at_completion, boundary in profile.ckpt_events:
             if ops_at_completion <= cutoff:
                 floor = max(floor, boundary)
+        if scenario.group_epoch > 0:
+            closes = _close_boundaries(scenario.group_epoch, last_boundary)
+            return {b for b in closes if floor <= b <= high}
         return set(range(floor, high + 1))
-    return set(range(committed, high + 1))
+    return allowed
 
 
 def _match_state(db: Database, states: list, allowed: set[int]):
@@ -494,6 +550,7 @@ class SeedTask:
     recovery_points: int = 2
     checkpoint_threshold: int = DEFAULT_TORTURE_THRESHOLD
     sabotage: bool = False
+    group_epoch: int = 0
 
 
 def run_seed(task: SeedTask) -> dict:
@@ -516,6 +573,7 @@ def run_seed(task: SeedTask) -> dict:
         txn_size=task.txn_size,
         checkpoint_threshold=task.checkpoint_threshold,
         sabotage=task.sabotage,
+        group_epoch=task.group_epoch,
     )
     profile = profile_scenario(base)
     runs = 0
@@ -579,6 +637,7 @@ def scenario_to_dict(scenario: TortureScenario) -> dict:
         "plan": scenario.plan.to_json() if scenario.plan else None,
         "checkpoint_threshold": scenario.checkpoint_threshold,
         "sabotage": scenario.sabotage,
+        "group_epoch": scenario.group_epoch,
     }
 
 
@@ -597,4 +656,5 @@ def scenario_from_dict(data: dict) -> TortureScenario:
             "checkpoint_threshold", DEFAULT_TORTURE_THRESHOLD
         ),
         sabotage=data.get("sabotage", False),
+        group_epoch=data.get("group_epoch", 0),
     )

@@ -77,6 +77,25 @@ def apply_txn(db, txn: Txn) -> None:
             _apply_op(db, op)
 
 
+def apply_txn_grouped(db, txn: Txn) -> None:
+    """Run one workload transaction into the shared group-commit epoch.
+
+    Unlike :func:`apply_txn`, even single-op transactions go through an
+    explicit BEGIN/``group_commit`` pair: the point of the grouped
+    workload is that *no* transaction is individually durable until
+    ``flush_group`` closes the epoch.
+    """
+    db.begin()
+    try:
+        for op in txn:
+            _apply_op(db, op)
+    except BaseException:
+        if db.pager.in_transaction:
+            db.rollback()
+        raise
+    db.group_commit()
+
+
 def _apply_op(db, op: Op) -> None:
     kind, key, value = op
     if kind == "insert":
@@ -89,12 +108,27 @@ def _apply_op(db, op: Op) -> None:
         raise ValueError(f"unknown workload op kind: {kind!r}")
 
 
-def run_workload(db, txns: tuple[Txn, ...]) -> None:
+def run_workload(db, txns: tuple[Txn, ...], group_epoch: int = 0) -> None:
     """The full scripted run: DDL first (boundary 1), then every
-    transaction (boundaries 2..N)."""
+    transaction (boundaries 2..N).
+
+    With ``group_epoch`` > 0 the transactions commit through the WAL's
+    group-commit path instead: each joins the open epoch, and the epoch
+    is closed (one flush + persist-barrier sequence) every
+    ``group_epoch`` transactions and again after the last one.  The DDL
+    stays individually durable — it models the setup phase before the
+    service's coalescer takes over.
+    """
     db.execute(DDL)
-    for txn in txns:
-        apply_txn(db, txn)
+    if group_epoch <= 0:
+        for txn in txns:
+            apply_txn(db, txn)
+        return
+    for i, txn in enumerate(txns):
+        apply_txn_grouped(db, txn)
+        if (i + 1) % group_epoch == 0:
+            db.flush_group()
+    db.flush_group()
 
 
 def model_states(txns: tuple[Txn, ...]) -> list:

@@ -6,6 +6,7 @@ import abc
 import enum
 from dataclasses import dataclass
 
+from repro.errors import TransactionError
 from repro.storage.ext4 import File
 
 #: SQLite's default checkpoint threshold: 1000 logged frames.
@@ -55,6 +56,9 @@ class WalBackend(abc.ABC):
         self.db_file: File | None = None
         #: Report of the most recent :meth:`recover` call (None before one).
         self.last_recovery: RecoveryReport | None = None
+        # Degenerate group-commit bookkeeping (see group_begin).
+        self._group_open = False
+        self._group_txns = 0
 
     def bind(self, db_file: File) -> None:
         """Attach the database file (needed for checkpoint and recovery)."""
@@ -95,6 +99,47 @@ class WalBackend(abc.ABC):
     @abc.abstractmethod
     def frame_count(self) -> int:
         """Frames currently in the log (drives the checkpoint policy)."""
+
+    # ------------------------------------------------------------------
+    # group commit (epoch batching)
+    # ------------------------------------------------------------------
+    #
+    # NVWAL overrides these with a real shared-epoch path (one flush +
+    # persist-barrier sequence for many transactions).  The defaults here
+    # are the *parity* semantics for backends with no epoch concept: each
+    # appended transaction is made individually durable, so acks released
+    # at group_close are trivially covered — strictly stronger durability
+    # at per-transaction cost.
+
+    @property
+    def group_open(self) -> bool:
+        """True while a group-commit epoch is accepting transactions."""
+        return self._group_open
+
+    def group_begin(self) -> None:
+        """Open a group-commit epoch."""
+        if self._group_open:
+            raise TransactionError("a group-commit epoch is already open")
+        self._group_open = True
+        self._group_txns = 0
+
+    def group_append(
+        self,
+        dirty_pages: dict[int, bytes],
+        pre_images: dict[int, bytes] | None = None,
+    ) -> None:
+        """Append one transaction to the open epoch."""
+        if not self._group_open:
+            raise TransactionError("no group-commit epoch is open")
+        self.write_transaction(dirty_pages, commit=True, pre_images=pre_images)
+        self._group_txns += 1
+
+    def group_close(self) -> int:
+        """Make the epoch durable; returns the transactions it carried."""
+        if not self._group_open:
+            raise TransactionError("no group-commit epoch is open")
+        self._group_open = False
+        return self._group_txns
 
     # ------------------------------------------------------------------
     # shared policy

@@ -20,7 +20,7 @@ from __future__ import annotations
 import struct
 
 from repro.db.pager import EARLY_SPLIT_RESERVE
-from repro.errors import IoError
+from repro.errors import IoError, TransactionError
 from repro.hw.stats import TimeBucket
 from repro.storage.ext4 import Ext4FileSystem, File
 from repro.system import System
@@ -77,6 +77,7 @@ class FileWalBackend(WalBackend):
         self._frame_index = 0
         self._prealloc_pages = 0
         self._logged_images: dict[int, bytes] = {}
+        self._defer_fsync = False
 
     @property
     def name(self) -> str:
@@ -157,8 +158,37 @@ class FileWalBackend(WalBackend):
             self.wal_file.write(offset, frame)
             self._frame_index += 1
             self._logged_images[pno] = bytes(image)
-        if commit:
+        if commit and not self._defer_fsync:
             _fsync_retry(self.wal_file)
+
+    # -- group commit --------------------------------------------------------
+
+    def group_append(
+        self,
+        dirty_pages: dict[int, bytes],
+        pre_images: dict[int, bytes] | None = None,
+    ) -> None:
+        """Append one transaction's frames with its commit marker but defer
+        the fsync to :meth:`group_close` — the file WAL's natural group
+        commit.  A crash inside the epoch may persist a *prefix* of the
+        epoch's transactions (each has its own commit frame); that is
+        weaker than NVWAL's whole-epoch atomicity but sound, since acks
+        are only released after the close fsync."""
+        if not self._group_open:
+            raise TransactionError("no group-commit epoch is open")
+        self._defer_fsync = True
+        try:
+            self.write_transaction(dirty_pages, commit=True, pre_images=pre_images)
+        finally:
+            self._defer_fsync = False
+        self._group_txns += 1
+
+    def group_close(self) -> int:
+        """One fsync makes every transaction of the epoch durable."""
+        txns = super().group_close()
+        if txns and self.wal_file is not None:
+            _fsync_retry(self.wal_file)
+        return txns
 
     def _ensure_preallocated(self, needed_bytes: int) -> None:
         """WALDIO-style pre-allocation with doubling (Section 5.4)."""

@@ -162,7 +162,34 @@ def commit_mark_value(checksum: int) -> int:
     return ((checksum ^ (checksum >> 32)) & 0xFFFF_FFFF) | 1
 
 
-def commit_mark_bytes(checkpoint_id: int, checksum: int) -> tuple[int, bytes]:
+def epoch_member_value(checksum: int) -> int:
+    """Commit word stamped on a transaction's last frame inside an *open*
+    group-commit epoch.
+
+    It is the standalone commit word with bit 1 flipped, so it is equally
+    checksum-bound (a decayed word is recognizably invalid) but recovery
+    can tell it apart: a member mark records a transaction boundary without
+    committing anything — the frames stay pending until an epoch-close
+    word lands, which is how a power failure inside an open epoch loses
+    the whole epoch and never a partial one.
+    """
+    return commit_mark_value(checksum) ^ 2
+
+
+def epoch_close_value(checksum: int) -> int:
+    """Commit word that closes a group-commit epoch.
+
+    The standalone commit word with bit 2 flipped.  One atomic 8-byte
+    store of this word commits every pending frame of the epoch at once;
+    like the other words it is derived from the carrying frame's checksum
+    so corruption cannot mint a phantom epoch.
+    """
+    return commit_mark_value(checksum) ^ 4
+
+
+def commit_mark_bytes(
+    checkpoint_id: int, checksum: int, word: int | None = None
+) -> tuple[int, bytes]:
     """(offset within the frame header, 8-byte commit-mark store).
 
     The commit mark is one word, but NVRAM guarantees 8-byte atomic writes,
@@ -170,11 +197,12 @@ def commit_mark_bytes(checkpoint_id: int, checksum: int) -> tuple[int, bytes]:
     places the commit field on an 8-byte-aligned offset whose atomic unit
     also holds the (unchanged) checkpoint id, so the store stays inside the
     frame header and rewrites nothing else.  ``checksum`` is the frame's
-    *stored* (bit-masked) checksum; see :func:`commit_mark_value`.
+    *stored* (bit-masked) checksum; see :func:`commit_mark_value`.  ``word``
+    overrides the stored commit word for the epoch member/close variants.
     """
-    return _NV_COMMIT_OFFSET, struct.pack(
-        "<II", commit_mark_value(checksum), checkpoint_id
-    )
+    if word is None:
+        word = commit_mark_value(checksum)
+    return _NV_COMMIT_OFFSET, struct.pack("<II", word, checkpoint_id)
 
 
 def decode_nv_frame_header(

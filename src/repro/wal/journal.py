@@ -169,6 +169,14 @@ class RollbackJournalBackend(WalBackend):
         return restored
 
     # ------------------------------------------------------------------
+    # group commit: rollback journaling has no batched path — each
+    # transaction's commit point is its own journal-invalidation fsync,
+    # which cannot be shared without merging transactions.  The inherited
+    # per-transaction group_* defaults are the parity stub: every
+    # group_append is individually durable before group_close returns.
+    # ------------------------------------------------------------------
+
+    # ------------------------------------------------------------------
     # checkpointing is meaningless here: data is already in the db file
     # ------------------------------------------------------------------
 

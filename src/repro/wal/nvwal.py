@@ -29,7 +29,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field, replace
 
-from repro.errors import ChecksumError, MediaError
+from repro.errors import ChecksumError, MediaError, TransactionError
 from repro.hw.stats import TimeBucket
 from repro.nvram.heapo import NvAllocation
 from repro.nvram.persistency import PersistDomain, PersistencyModel
@@ -51,6 +51,8 @@ from repro.wal.frames import (
     commit_mark_value,
     decode_nv_frame_header,
     encode_nv_frame,
+    epoch_close_value,
+    epoch_member_value,
     payload_checksum,
 )
 
@@ -144,6 +146,20 @@ class NvwalScheme:
         ]
 
 
+@dataclass
+class _EpochState:
+    """Volatile bookkeeping for one open group-commit epoch."""
+
+    #: (addr, encoded length) of every frame appended this epoch, in order.
+    frame_ptrs: list[tuple[int, int]] = field(default_factory=list)
+    #: Transactions appended so far (including frameless no-ops).
+    txns: int = 0
+    #: Address / stored checksum of the epoch's last frame — the close
+    #: mark is stamped there.
+    last_addr: int | None = None
+    last_checksum: int = 0
+
+
 class NvwalBackend(WalBackend):
     """The NVRAM write-ahead log."""
 
@@ -171,6 +187,8 @@ class NvwalBackend(WalBackend):
         #: NVRAM address holding the pointer to the *next* block — the root's
         #: first_block field, or the current tail block's next field.
         self._link_addr = self._root.addr + _ROOT_FIRST_BLOCK_OFFSET
+        #: Open group-commit epoch, or None (see :meth:`group_begin`).
+        self._epoch: _EpochState | None = None
 
     # ------------------------------------------------------------------
     # root management
@@ -212,6 +230,11 @@ class NvwalBackend(WalBackend):
         pre_images: dict[int, bytes] | None = None,
     ) -> None:
         """Log one transaction's dirty pages per Algorithm 1."""
+        if self._epoch is not None:
+            raise TransactionError(
+                "cannot log a standalone transaction while a group-commit "
+                "epoch is open; close it with group_close() first"
+            )
         frames = self._build_frames(dirty_pages)
         if not frames:
             return
@@ -277,6 +300,163 @@ class NvwalBackend(WalBackend):
             if self.scheme.sync is SyncMode.CHECKSUM:
                 # Flush the whole frame header so the checksum bytes reach
                 # NVRAM along with the commit mark (Figure 4d).
+                self.cpu.cache_line_flush(
+                    last_frame_addr, last_frame_addr + NV_HEADER_SIZE
+                )
+            else:
+                self.cpu.cache_line_flush(mark_addr, mark_addr + len(mark))
+            self.cpu.dmb()
+            self.cpu.persist_barrier()
+        else:
+            self.persist_domain.commit_barrier()
+
+    # ------------------------------------------------------------------
+    # group commit: epoch-batched persistence (Section 4.2 extended)
+    # ------------------------------------------------------------------
+
+    @property
+    def group_open(self) -> bool:
+        """True while a group-commit epoch is accepting transactions."""
+        return self._epoch is not None
+
+    def group_begin(self) -> None:
+        """Open a group-commit epoch.
+
+        Until :meth:`group_close`, transactions appended with
+        :meth:`group_append` share the epoch: their frames go to NVRAM
+        with no per-transaction flush or barrier, and none of them is
+        committed.  One close mark then commits them all at once, so a
+        power failure inside the open epoch loses the whole epoch and
+        never a prefix of it.
+        """
+        if self._epoch is not None:
+            raise TransactionError("a group-commit epoch is already open")
+        self._epoch = _EpochState()
+
+    def group_append(
+        self,
+        dirty_pages: dict[int, bytes],
+        pre_images: dict[int, bytes] | None = None,
+    ) -> None:
+        """Append one transaction's frames to the open epoch.
+
+        This is Algorithm 1's logging phase with the synchronization
+        cadence lifted out: no per-entry flush (even under E — grouping
+        overrides the per-entry discipline, that is its point) and no
+        per-transaction flush/barrier pair.  E/LS stamp an epoch-member
+        word on the transaction's last frame so the log records durable,
+        checksum-validated transaction boundaries; CS stamps nothing and
+        relies on the checksum-validated close mark alone (Figure 4d
+        stretched over the epoch).
+        """
+        if self._epoch is None:
+            raise TransactionError("no group-commit epoch is open")
+        epoch = self._epoch
+        epoch.txns += 1
+        frames = self._build_frames(dirty_pages)
+        if not frames:
+            return
+        costs = self.system.config.db_costs
+        for frame in frames:
+            self.cpu.compute(costs.frame_assembly_ns, TimeBucket.CPU)
+            self.cpu.compute(
+                costs.checksum_ns_per_byte * len(frame.payload), TimeBucket.CPU
+            )
+            encoded = encode_nv_frame(frame, self.checksum_bits)
+            if not self.userheap.fits(len(encoded)):
+                self._chain_new_block(len(encoded))
+            addr = self.userheap.allocate(len(encoded))
+            self.cpu.memcpy(addr, encoded)
+            self.persist_domain.after_store(addr, len(encoded))
+            epoch.frame_ptrs.append((addr, len(encoded)))
+        self._frame_count += len(frames)
+
+        last = frames[-1]
+        checksum = payload_checksum(
+            last.payload, last.page_no, last.offset, self.checksum_bits
+        )
+        epoch.last_addr = epoch.frame_ptrs[-1][0]
+        epoch.last_checksum = checksum
+        if self.scheme.sync is not SyncMode.CHECKSUM:
+            # Epoch-member mark: a durable transaction boundary that
+            # commits nothing by itself (the close sweep flushes it along
+            # with the frame bytes).
+            mark_offset, mark = commit_mark_bytes(
+                self._checkpoint_id, checksum, word=epoch_member_value(checksum)
+            )
+            mark_addr = epoch.last_addr + mark_offset
+            self.cpu.store(mark_addr, mark)
+            self.persist_domain.after_store(mark_addr, len(mark))
+
+        for frame in frames:
+            base = self._logged_images.get(
+                frame.page_no, bytes(self.system.page_size)
+            )
+            self._logged_images[frame.page_no] = frame.apply_to(base)
+
+    def group_close(self) -> int:
+        """Persist the epoch with one coalesced flush + barrier sequence
+        and commit it with a single close mark.  Returns the number of
+        transactions the epoch carried.
+
+        E/LS: one dmb, one coalesced cache-line sweep over the epoch's
+        (mostly contiguous) frame ranges, one dmb, one persist barrier —
+        then the atomic close-mark store with its own small ordering
+        point.  CS flushes only the closing frame's header.  The acks the
+        service layer releases on return are therefore the first moment
+        any of the epoch's transactions is durable.
+        """
+        if self._epoch is None:
+            raise TransactionError("no group-commit epoch is open")
+        epoch = self._epoch
+        self._epoch = None
+        if not epoch.frame_ptrs:
+            return epoch.txns
+        explicit = self.scheme.persistency is PersistencyModel.EXPLICIT
+
+        # --- epoch flush phase: one sweep for every transaction ---
+        if explicit and self.scheme.sync is not SyncMode.CHECKSUM:
+            self.cpu.dmb()
+            self._flush_coalesced(epoch.frame_ptrs)
+            self.cpu.dmb()
+            self.cpu.persist_barrier()
+        elif not explicit:
+            self.persist_domain.commit_barrier()
+        # CS: no flush of log entries at all (Figure 4d).
+
+        # --- epoch commit: one atomic close-mark store ---
+        self._write_epoch_close(epoch.last_addr, epoch.last_checksum, explicit)
+        return epoch.txns
+
+    def _flush_coalesced(self, ptrs: list[tuple[int, int]]) -> None:
+        """Issue one cache-line sweep per contiguous run of frame ranges.
+
+        Frames are bump-allocated, so an epoch's frames form one run per
+        log block touched; each run becomes a single ``dccmvac`` batch
+        instead of one flush call per frame."""
+        start, end = ptrs[0][0], ptrs[0][0] + ptrs[0][1]
+        for addr, length in ptrs[1:]:
+            if addr == end:
+                end = addr + length
+            else:
+                self.cpu.cache_line_flush(start, end)
+                start, end = addr, addr + length
+        self.cpu.cache_line_flush(start, end)
+
+    def _write_epoch_close(
+        self, last_frame_addr: int, checksum: int, explicit: bool
+    ) -> None:
+        mark_offset, mark = commit_mark_bytes(
+            self._checkpoint_id, checksum, word=epoch_close_value(checksum)
+        )
+        mark_addr = last_frame_addr + mark_offset
+        self.cpu.store(mark_addr, mark)
+        self.persist_domain.after_store(mark_addr, len(mark))
+        if explicit:
+            self.cpu.dmb()
+            if self.scheme.sync is SyncMode.CHECKSUM:
+                # Flush the whole closing header so the checksum reaches
+                # NVRAM with the close mark (Figure 4d).
                 self.cpu.cache_line_flush(
                     last_frame_addr, last_frame_addr + NV_HEADER_SIZE
                 )
@@ -367,6 +547,7 @@ class NvwalBackend(WalBackend):
         self._logged_images.clear()
         self._frame_count = 0
         self._link_addr = self._root.addr + _ROOT_FIRST_BLOCK_OFFSET
+        self._epoch = None  # any open epoch died with the crash
 
         chain = self._walk_chain(report)
         committed, tail_position = self._scan_frames(chain, report)
@@ -476,9 +657,16 @@ class NvwalBackend(WalBackend):
         The scan stops — keeping what is committed so far — at the first
         frame whose payload checksum or commit word is invalid, or whose
         bytes the media refuses to return.  A zero commit word is a normal
-        in-flight frame; any other value must equal the word derived from
-        the frame's checksum (see :func:`commit_mark_value`), so decayed
+        in-flight frame; any other value must equal one of the three words
+        derived from the frame's checksum (standalone commit, epoch
+        member, epoch close — see :func:`commit_mark_value`), so decayed
         commit fields cannot mint phantom transactions.
+
+        Epoch semantics: an epoch-member word is a validated transaction
+        boundary but keeps its frames *pending*; only a standalone commit
+        or an epoch-close word commits everything pending.  A crash inside
+        an open epoch therefore drops every one of its transactions —
+        recovery replays the longest valid prefix of whole epochs.
         """
         committed: list[NvFrame] = []
         pending: list[NvFrame] = []
@@ -514,13 +702,18 @@ class NvwalBackend(WalBackend):
                     # Torn frame (or the asynchronous-commit window): the
                     # transaction it belongs to is considered aborted.
                     return salvage("frame checksum mismatch")
-                if commit and commit != commit_mark_value(checksum):
+                member_word = epoch_member_value(checksum)
+                if commit and commit not in (
+                    commit_mark_value(checksum),
+                    member_word,
+                    epoch_close_value(checksum),
+                ):
                     return salvage("invalid commit word")
                 pending.append(
                     NvFrame(page_no, offset, payload, ckpt, commit=bool(commit))
                 )
                 pos += NV_HEADER_SIZE + padded
-                if commit:
+                if commit and commit != member_word:
                     committed.extend(pending)
                     pending.clear()
                     tail = (block_index, pos)
@@ -593,6 +786,10 @@ class NvwalBackend(WalBackend):
         free the NVRAM log."""
         if self.db_file is None:
             raise RuntimeError("NVWAL is not bound to a database file")
+        if self._epoch is not None:
+            raise TransactionError(
+                "cannot checkpoint while a group-commit epoch is open"
+            )
         pages = sorted(self._logged_images)
         page_size = self.system.page_size
         for pno in pages:

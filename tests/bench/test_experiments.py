@@ -20,7 +20,7 @@ def test_registry_covers_all_paper_artifacts():
         "motivation",
         "ablation_blocksize", "ablation_persistency", "ablation_diff",
         "ablation_recovery", "ablation_checkpoint",
-        "service_storm",
+        "group_commit", "service_storm",
     }
     assert set(EXPERIMENTS) == expected
 
@@ -158,6 +158,51 @@ class TestFig9Shape:
     def test_optimized_flash_beats_stock(self, report):
         rows = {str(r[0]): r[1:] for r in report.tables[0].rows}
         assert rows["Optimized WAL on eMMC"][0] > rows["WAL on eMMC"][0]
+
+
+class TestGroupCommitShape:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return EXPERIMENTS["group_commit"](quick=True)
+
+    def sync_rows(self, report):
+        # table (b): commit-sync time per txn
+        return {r[0]: r[1:] for r in report.tables[1].rows}
+
+    def test_grouping_amortizes_commit_sync(self, report):
+        """Grouped commit-sync time sits below per-txn for every scheme
+        at every latency — the whole point of epoch batching."""
+        rows = self.sync_rows(report)
+        for label in ("E", "LS", "CS"):
+            per = rows[f"{label} per-txn"]
+            grp = rows[f"{label} grouped x8"]
+            assert all(g < p for g, p in zip(grp, per)), label
+
+    def test_gap_widens_with_latency_for_eager(self, report):
+        """The avoided barriers wait on the device, so eager's saving
+        grows with NVRAM write latency."""
+        rows = self.sync_rows(report)
+        saved = [
+            p - g
+            for p, g in zip(rows["E per-txn"], rows["E grouped x8"])
+        ]
+        assert saved[-1] > saved[0]
+
+    def test_cs_bounds_the_benefit(self, report):
+        """Checksum mode has no commit-time flushes: its per-txn cost is
+        already below every grouped E/LS cell."""
+        rows = self.sync_rows(report)
+        assert max(rows["CS per-txn"]) < min(rows["E grouped x8"])
+
+    def test_grouped_barriers_below_per_txn(self, report):
+        rows = {r[0]: r[1:] for r in report.tables[2].rows}
+        for label in ("E", "LS", "CS"):
+            assert all(
+                g < p
+                for g, p in zip(
+                    rows[f"{label} grouped x8"], rows[f"{label} per-txn"]
+                )
+            )
 
 
 def test_cli_runs_and_lists(capsys):

@@ -42,3 +42,45 @@ def test_durable_image_is_a_copy():
 
 def test_size_property():
     assert NvramDevice(NvramConfig(size=4096)).size == 4096
+
+
+class TestLazyMaterialization:
+    """The durable image grows on demand but behaves exactly like a fully
+    pre-zeroed device — including for the fault injector, which indexes
+    ``_data`` anywhere inside a worn 256-byte region."""
+
+    def test_reads_beyond_grown_length_are_zero(self):
+        device = NvramDevice(NvramConfig(size=64 << 20))
+        device.persist(100, b"abc")
+        assert device.read(100, 3) == b"abc"
+        # straddling the materialized/virtual boundary
+        tail = device.read(len(device._data) - 4, 8)
+        assert tail == bytes(8)
+        # far past anything ever written
+        assert device.read((60 << 20), 16) == bytes(16)
+
+    def test_growth_is_capped_at_device_size(self):
+        device = NvramDevice(NvramConfig(size=1024))
+        device.persist(1000, b"x" * 24)
+        assert len(device._data) == 1024
+        assert device.read(0, 1024)[1000:] == b"x" * 24
+
+    def test_worn_regions_are_fully_materialized(self):
+        # The media-fault injector may poke any byte of a worn region;
+        # materialization must never leave a worn region half-covered.
+        from repro.hw.memory import WEAR_REGION, _GROW_CHUNK
+
+        assert _GROW_CHUNK % WEAR_REGION == 0
+        device = NvramDevice(NvramConfig(size=64 << 20))
+        device.persist(12345, b"y" * 8)
+        for region in device._wear:
+            assert (region + 1) * WEAR_REGION <= len(device._data)
+        device._data[12345] ^= 1  # the injector's exact access pattern
+
+    def test_durable_image_pads_to_device_size(self):
+        device = NvramDevice(NvramConfig(size=4096))
+        device.persist(8, b"z")
+        image = device.durable_image()
+        assert len(image) == 4096
+        assert image[8] == ord("z")
+        assert image[9:] == bytes(4096 - 9)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -107,6 +108,52 @@ class TestSabotage:
         assert any(v.startswith("ack-lost") for v in shrunk.violations)
         # Shrinking must preserve determinism of the repro.
         assert shrunk.violations == run_chaos(small).violations
+
+
+class TestGroupCommit:
+    def test_group_commit_power_cycles_no_violations(self):
+        result = run_task(small_task(1, scheme="ls", group_commit=True))
+        assert result["violations"] == []
+        assert result["crashes"] >= 1
+        assert result["acked"] >= 12
+
+    def test_group_commit_full_fault_mix_no_violations(self):
+        result = run_task(
+            ChaosTask(
+                seed=5, sessions=3, txns=16, scheme="ls",
+                faults=("power", "media", "io"), storms=2,
+                power_cycles=1, group_commit=True,
+            )
+        )
+        assert result["violations"] == []
+        assert result["crashes"] >= 1
+        assert result["storms"] >= 1
+
+    def test_ack_before_epoch_barrier_is_caught(self):
+        # Seed 1 lands a power cut between the premature acks and the
+        # epoch barrier; every parked writer in the epoch is exposed.
+        result = run_task(
+            small_task(
+                1, scheme="ls", txns=24, group_commit=True, sabotage=True
+            )
+        )
+        assert any(v.startswith("ack-lost") for v in result["violations"])
+
+    def test_minimized_trace_regression(self):
+        """The recorded minimized ack-before-epoch-barrier trace must keep
+        failing, deterministically — the harness's anchor regression for
+        group-commit ack durability."""
+        path = os.path.join(
+            os.path.dirname(__file__), "traces", "group_commit_ack_early.json"
+        )
+        with open(path, encoding="utf-8") as fh:
+            trace = json.load(fh)
+        scenario = scenario_from_dict(trace["scenario"])
+        assert scenario.group_commit and scenario.sabotage
+        first = run_chaos(scenario)
+        assert any(v.startswith("ack-lost") for v in first.violations)
+        assert list(first.violations) == trace["violations"]
+        assert first.violations == run_chaos(scenario).violations
 
 
 class TestFaultStorm:

@@ -51,6 +51,46 @@ def test_run_is_deterministic():
     assert build() == build()
 
 
+def test_large_wake_times_keep_integer_precision():
+    """Wake times are integer ns: past 2**53 a float heap key would merge
+    adjacent wake times and let the FIFO tie-break scramble the order."""
+    base = 2**53
+    clock = SimClock()
+    clock.advance_to(base)
+    trace = []
+
+    def worker(name, delay):
+        yield delay
+        trace.append((name, clock.now_ns))
+
+    sched = Scheduler(clock)
+    # float(base + 1) == float(base): with float heap keys both wakes
+    # collapse to ``base`` and the earlier-pushed "late" job would win
+    # the tie and run first.
+    sched.spawn("late", worker("late", 1))
+    sched.spawn("early", worker("early", 0))
+    sched.run()
+    assert trace == [("early", base), ("late", base + 1)]
+    assert all(isinstance(t, int) for _n, t in trace)
+
+
+def test_wake_times_ceil_fractional_clock():
+    """A job never wakes before the time it asked for, even when the clock
+    sits on a fractional nanosecond."""
+    clock = SimClock()
+    clock.advance(0.5)
+    sched = Scheduler(clock)
+
+    def worker():
+        yield 10
+        return clock.now_ns
+
+    job = sched.spawn("w", worker())
+    sched.run()
+    assert isinstance(job.result, int)
+    assert job.result >= 10.5
+
+
 def test_job_result_captured():
     clock = SimClock()
 

@@ -21,6 +21,7 @@ from repro.torture import (
     make_scenario,
     minimize,
     model_states,
+    profile_scenario,
     run_scenario,
     run_seed,
     scenario_from_dict,
@@ -28,6 +29,7 @@ from repro.torture import (
     violation_codes,
 )
 from repro.torture.__main__ import main
+from repro.torture.driver import _close_boundaries
 
 # Sized to run in tier-1; the marker lets `pytest -m torture` select the
 # crash-consistency tests on their own.
@@ -50,13 +52,19 @@ class TestWorkload:
 class TestScenarioSerialization:
     def test_roundtrips_through_json(self):
         scenario = make_scenario(
-            seed=5, ops=6, scheme="ls", faults=("media", "power", "io")
+            seed=5, ops=6, scheme="ls", faults=("media", "power", "io"),
+            group_epoch=4,
         )
         scenario = dataclasses.replace(
             scenario, crash_point=40, recovery_crash_point=2
         )
         wire = json.loads(json.dumps(scenario_to_dict(scenario)))
         assert scenario_from_dict(wire) == scenario
+
+    def test_old_traces_default_to_per_txn_durability(self):
+        wire = scenario_to_dict(make_scenario(seed=1, ops=2, scheme="eager"))
+        del wire["group_epoch"]
+        assert scenario_from_dict(wire).group_epoch == 0
 
     def test_power_only_plan_is_none(self):
         assert build_fault_plan(0, ("power",)) is None
@@ -89,6 +97,65 @@ class TestCleanSweep:
         outcome = run_scenario(scenario)
         assert outcome.violations == ()
         assert not outcome.crashed
+
+
+class TestGroupCommit:
+    """Group-commit crash semantics: durability is quantized to epochs.
+
+    A power failure inside an open epoch must lose the *whole* epoch —
+    and nothing from any closed one — across the synchronous (E, LS) and
+    asynchronous (CS) commit schemes.
+    """
+
+    @pytest.mark.parametrize("scheme", ["eager", "ls", "cs_diff"])
+    def test_crash_inside_open_epoch_loses_whole_epoch(self, scheme):
+        group = 3
+        base = make_scenario(seed=2, ops=12, scheme=scheme, group_epoch=group)
+        profile = profile_scenario(base)
+        last = len(base.txns) + 1
+        closes = set(_close_boundaries(group, last))
+        mids = [b for b in range(2, last) if b not in closes]
+        assert mids, "workload too small to place a crash inside an epoch"
+        for b in mids:
+            # Crash right after the transaction at boundary ``b`` joined
+            # the epoch: the epoch is still open, so no close mark exists
+            # and recovery must drop back to a whole-epoch boundary.
+            scenario = dataclasses.replace(base, crash_point=profile.bounds[b])
+            outcome = run_scenario(scenario, profile)
+            assert outcome.violations == ()
+            assert outcome.crashed
+            assert outcome.matched_boundary in closes
+            assert outcome.matched_boundary < b  # the open epoch is gone
+
+    def test_closed_epochs_survive_the_crash(self):
+        """Crashing after a close completes must keep every transaction
+        of that epoch (E/LS: exactly the closed prefix)."""
+        group = 3
+        base = make_scenario(seed=2, ops=12, scheme="ls", group_epoch=group)
+        profile = profile_scenario(base)
+        last = len(base.txns) + 1
+        closes = [b for b in _close_boundaries(group, last) if 0 < b < last]
+        for b in closes:
+            scenario = dataclasses.replace(
+                base, crash_point=profile.bounds[b] + 1
+            )
+            outcome = run_scenario(scenario, profile)
+            assert outcome.violations == ()
+            assert outcome.matched_boundary >= b
+
+    def test_group_sweep_is_clean_and_deterministic(self):
+        task = SeedTask(
+            seed=0,
+            ops=6,
+            scheme="uh_ls_diff",
+            stride=12,
+            recovery_points=1,
+            group_epoch=2,
+        )
+        first = run_seed(task)
+        assert first["failures"] == []
+        assert first["crashes"] > 0
+        assert run_seed(task) == first
 
 
 class TestSabotage:
