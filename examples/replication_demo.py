@@ -1,0 +1,95 @@
+"""Replication demo: a writer, two followers, a power cut, a promotion.
+
+Act 1 wires a primary NVWAL database to two follower machines over
+simulated channels and commits through the semi-synchronous shipping
+gate: every acknowledgement waits until at least one follower holds the
+epoch durably.  Act 2 pulls the plug on the primary mid-stream,
+promotes the follower with the longest durable prefix (term bump fences
+the dead primary's in-flight segments), and keeps serving — the
+surviving follower reseeds from the new primary and reads come back
+row-for-row.
+
+Run:  python examples/replication_demo.py
+"""
+
+from repro.replication import Cluster, ReplicationConfig
+from repro.replication.cluster import TABLE
+from repro.service import ClientSession, Scheduler, ServiceConfig
+
+SEED = 2016  # the year of the paper
+
+
+def drain(cluster, clients) -> None:
+    """Run client sessions against the cluster's current primary."""
+    scheduler = Scheduler(cluster.clock)
+    service = cluster.start_service(ServiceConfig(group_commit=True),
+                                    seed=SEED)
+    for client in clients:
+        client.attach(service)
+        if client.pending:
+            scheduler.spawn(client.session_id, client.run())
+    scheduler.spawn("maintenance", service.maintenance(), daemon=True)
+    scheduler.spawn("batcher", service.commit_batcher(), daemon=True)
+    scheduler.spawn("replicator", cluster.replicator.daemon(), daemon=True)
+    scheduler.run()
+
+
+def settle(cluster, budget_ns: int = 40_000_000) -> None:
+    """Drain the channels until every live follower reaches the head."""
+    deadline = cluster.clock.now_ns + budget_ns
+    while cluster.clock.now_ns < deadline:
+        if all(f.durable_seq >= cluster.head_seq
+               for f in cluster.live_followers()):
+            break
+        cluster.clock.advance(200_000)
+        cluster.replicator.tick()
+
+
+def show(cluster) -> None:
+    print(f"  primary: seq {cluster.head_seq}, term {cluster.term}, "
+          f"{len(cluster.db.dump_table(TABLE))} rows")
+    for node in cluster.followers:
+        state = "alive" if node.alive else "DEAD"
+        rows = (len(node.db.dump_table(TABLE))
+                if node.alive and node.db.table_exists(TABLE) else "-")
+        print(f"  {node.role} {node.node_id}: {state}, durable seq "
+              f"{node.durable_seq}, term {node.term}, {rows} rows")
+
+
+def main() -> None:
+    cluster = Cluster(ReplicationConfig(followers=2, mode="semisync"),
+                      seed=SEED)
+
+    # ---- Act 1: replicated commits through the shipping gate ----
+    print("Act 1 — semi-sync replication to two followers")
+    clients = [ClientSession(None, f"client-{i}") for i in range(2)]
+    for i, client in enumerate(clients):
+        for t in range(5):
+            key = t * 2 + i  # disjoint keys per client
+            client.enqueue((("insert", key, f"client-{i}.txn-{t}"),))
+    drain(cluster, clients)
+    settle(cluster)
+    show(cluster)
+
+    # ---- Act 2: power-cut the writer, promote, keep serving ----
+    print("\nAct 2 — primary power cut, failover promotion")
+    cluster.kill_primary()
+    node, watermark, scrub = cluster.promote()
+    print(f"  promoted follower {node.node_id} at watermark {watermark} "
+          f"(log scrub: {'clean' if not scrub.corruption_detected else scrub.reason})")
+
+    for i, client in enumerate(clients):
+        client.enqueue((("insert", 100 + i, f"after-failover-{i}"),))
+    drain(cluster, clients)
+    settle(cluster)
+    show(cluster)
+
+    rows = sorted(cluster.db.dump_table(TABLE))
+    survivor = next(f for f in cluster.followers if f.role == "follower")
+    assert sorted(survivor.db.dump_table(TABLE)) == rows
+    print(f"\n  promoted primary serves {len(rows)} rows; the surviving "
+          "follower matches row-for-row")
+
+
+if __name__ == "__main__":
+    main()

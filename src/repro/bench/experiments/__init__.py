@@ -18,6 +18,7 @@ from repro.bench.experiments import (
     fig9,
     group_commit,
     motivation,
+    replication,
     service_storm,
     table1,
     table2,
@@ -39,6 +40,7 @@ EXPERIMENTS = {
     "ablation_checkpoint": ablation_checkpoint.run,
     "group_commit": group_commit.run,
     "service_storm": service_storm.run,
+    "replication": replication.run,
 }
 
 __all__ = ["EXPERIMENTS"]

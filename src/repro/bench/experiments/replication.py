@@ -1,0 +1,122 @@
+"""Replication lag and failover time per durability mode.
+
+Not a paper figure: NVWAL itself is single-node.  This experiment
+measures what the log-shipping layer (:mod:`repro.replication`) costs
+and promises on top of it, per durability mode:
+
+* **replication lag** — seal-to-apply delay of each shipped epoch on
+  each follower (mean / p95 / max, microseconds of simulated time);
+* **failover time** — primary power cut to promoted-follower ready,
+  plus the delay until the first post-failover acknowledgement.
+
+Every cell runs the full replication-consistency oracle under channel
+storms (drop/duplicate/reorder/corrupt) with a scripted writer kill —
+a nonzero violation count fails the experiment.  ``run()`` snapshots
+the results to ``BENCH_replication.json`` so future PRs can track the
+replication probes.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.harness import parallel_map
+from repro.bench.report import Report, Table
+from repro.replication.chaos import ReplicationTask, run_task
+from repro.replication.ship import MODES
+
+SEEDS = (0, 1, 2, 3)
+QUICK_SEEDS = (0, 1)
+
+OUT_FILE = "BENCH_replication.json"
+
+
+def _aggregate(results) -> dict:
+    acked = sum(r["acked"] for r in results)
+    samples = sum(r["lag_samples"] for r in results)
+    weighted = sum(r["lag_mean_us"] * r["lag_samples"] for r in results)
+    failovers = [r["failover_ms"] for r in results if r["failover_ms"]]
+    first_acks = [
+        r["first_ack_after_failover_ms"]
+        for r in results
+        if r["first_ack_after_failover_ms"]
+    ]
+    return {
+        "acked": acked,
+        "sealed": sum(r["sealed"] for r in results),
+        "promotions": sum(r["promotions"] for r in results),
+        "ship_faults": sum(
+            sum(r["ship_faults"].values()) for r in results
+        ),
+        "lag_samples": samples,
+        "lag_mean_us": round(weighted / samples, 1) if samples else 0.0,
+        "lag_p95_us": round(max(r["lag_p95_us"] for r in results), 1),
+        "lag_max_us": round(max(r["lag_max_us"] for r in results), 1),
+        "failover_ms": round(max(failovers), 3) if failovers else 0.0,
+        "first_ack_after_failover_ms": round(max(first_acks), 3)
+        if first_acks
+        else 0.0,
+        "violations": sum(len(r["violations"]) for r in results),
+    }
+
+
+def run(quick: bool = False, jobs: int = 1) -> Report:
+    """Replication lag + failover probes per durability mode."""
+    seeds = QUICK_SEEDS if quick else SEEDS
+    txns = 24 if quick else 48
+    sessions = 3 if quick else 4
+    rows = []
+    snapshot = {}
+    for mode in MODES:
+        tasks = [
+            ReplicationTask(
+                seed=seed,
+                sessions=sessions,
+                txns=txns,
+                scheme="uh_ls_diff",
+                mode=mode,
+                writer_kill=True,
+                follower_kills=1,
+            )
+            for seed in seeds
+        ]
+        agg = _aggregate(parallel_map(run_task, tasks, jobs=jobs))
+        snapshot[mode] = agg
+        rows.append([
+            mode, agg["acked"], agg["promotions"], agg["ship_faults"],
+            agg["lag_mean_us"], agg["lag_p95_us"], agg["failover_ms"],
+            agg["first_ack_after_failover_ms"], agg["violations"],
+        ])
+    with open(OUT_FILE, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "experiment": "replication",
+                "quick": quick,
+                "seeds": list(seeds),
+                "sessions": sessions,
+                "txns_per_seed": txns,
+                "modes": snapshot,
+            },
+            fh, indent=2, sort_keys=True,
+        )
+        fh.write("\n")
+    return Report(
+        "replication",
+        "Log-shipping replication lag and failover time per durability mode",
+        tables=[
+            Table(
+                ["mode", "acked", "promotions", "ship faults",
+                 "lag mean (us)", "lag p95 (us)", "failover (ms)",
+                 "first ack after failover (ms)", "violations"],
+                rows,
+            )
+        ],
+        notes=[
+            f"Tuna profile; {sessions} sessions x {len(seeds)} seeds, "
+            f"{txns} txns/seed, NVWAL UH+LS+Diff, 2 followers.",
+            "Channel storm (drop/dup/reorder/corrupt) + writer kill +",
+            "one follower kill in every cell; the replication oracle",
+            "must report 0 violations.",
+            f"Snapshot written to {OUT_FILE}.",
+        ],
+    )

@@ -6,8 +6,17 @@ them.  :meth:`repro.system.System.inject_faults` wires a plan into a
 simulated machine.
 """
 
-from repro.faults.inject import BlockIoFaultInjector, NvramFaultInjector
-from repro.faults.plan import FaultPlan, IoFaultSpec, MediaFaultSpec
+from repro.faults.inject import (
+    BlockIoFaultInjector,
+    NvramFaultInjector,
+    ShipFaultInjector,
+)
+from repro.faults.plan import (
+    FaultPlan,
+    IoFaultSpec,
+    MediaFaultSpec,
+    ShipFaultSpec,
+)
 
 __all__ = [
     "BlockIoFaultInjector",
@@ -15,4 +24,6 @@ __all__ = [
     "IoFaultSpec",
     "MediaFaultSpec",
     "NvramFaultInjector",
+    "ShipFaultInjector",
+    "ShipFaultSpec",
 ]

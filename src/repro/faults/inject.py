@@ -20,7 +20,7 @@ import random
 
 from repro.config import ATOMIC_UNIT
 from repro.errors import IoError, MediaError
-from repro.faults.plan import IoFaultSpec, MediaFaultSpec
+from repro.faults.plan import IoFaultSpec, MediaFaultSpec, ShipFaultSpec
 from repro.hw.memory import WEAR_REGION, NvramDevice
 
 
@@ -185,3 +185,52 @@ class BlockIoFaultInjector:
                 err.retryable = True
                 raise err
         self._consecutive.pop(key, None)
+
+
+class ShipFaultInjector:
+    """Seeded drop/duplicate/reorder/bit-flip faults for one replication
+    channel.
+
+    Each :meth:`deliveries` call decides the fate of one shipped batch
+    and returns ``(extra_delay_ns, payload)`` tuples — possibly empty
+    (dropped), possibly two entries (duplicated), possibly delayed past
+    later batches (reordered), possibly with one bit flipped (corrupted).
+    Decisions draw from the injector's own ``random.Random`` stream, so
+    the same seed against the same send sequence produces bit-identical
+    channel behaviour regardless of follower count or scheduling.
+    """
+
+    def __init__(self, spec: ShipFaultSpec, seed: int) -> None:
+        self.spec = spec
+        self.rng = random.Random((seed * 0xC2B2AE3D + 0x27D4EB2F) & 0xFFFFFFFF)
+        self._consecutive_drops = 0
+        #: counters for trace logs / tests
+        self.dropped = 0
+        self.duplicated = 0
+        self.reordered = 0
+        self.corrupted = 0
+
+    def deliveries(self, payload: bytes) -> list[tuple[int, bytes]]:
+        """Fate of one sent batch: list of (extra delay ns, bytes) copies."""
+        spec = self.spec
+        if self.rng.random() < spec.drop_rate:
+            if self._consecutive_drops < spec.max_consecutive:
+                self._consecutive_drops += 1
+                self.dropped += 1
+                return []
+        self._consecutive_drops = 0
+        delay = 0
+        if self.rng.random() < spec.reorder_rate:
+            delay = spec.reorder_delay_ns * (1 + self.rng.randrange(4))
+            self.reordered += 1
+        if self.rng.random() < spec.corrupt_rate and payload:
+            flipped = bytearray(payload)
+            bit = self.rng.randrange(len(flipped) * 8)
+            flipped[bit // 8] ^= 1 << (bit % 8)
+            payload = bytes(flipped)
+            self.corrupted += 1
+        out = [(delay, payload)]
+        if self.rng.random() < spec.duplicate_rate:
+            out.append((delay + spec.duplicate_delay_ns, payload))
+            self.duplicated += 1
+        return out

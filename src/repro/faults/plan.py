@@ -60,12 +60,37 @@ class IoFaultSpec:
 
 
 @dataclass(frozen=True)
+class ShipFaultSpec:
+    """Seeded misbehaviour of the log-shipping replication channel.
+
+    Each shipped segment batch independently suffers (in check order):
+    **drop** — the batch never arrives (capped at ``max_consecutive``
+    consecutive drops per channel, so resends always make progress);
+    **duplicate** — a second copy arrives ``duplicate_delay_ns`` later;
+    **reorder** — delivery is delayed by 1–4 × ``reorder_delay_ns``, so
+    a later batch overtakes it; **corrupt** — one seeded bit of the
+    payload flips in flight.  Followers are expected to absorb all four:
+    segment decode validates checksums and close words, and the
+    sequence-number cursor makes duplicates and stale reorders no-ops.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    max_consecutive: int = 3
+    duplicate_delay_ns: int = 300_000
+    reorder_delay_ns: int = 500_000
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """One seeded fault scenario for a whole simulated machine."""
 
     seed: int = 0
     media: MediaFaultSpec | None = None
     io: IoFaultSpec | None = None
+    ship: ShipFaultSpec | None = None
 
     def to_json(self) -> dict:
         """Plain-dict form for trace files."""
@@ -73,6 +98,7 @@ class FaultPlan:
             "seed": self.seed,
             "media": asdict(self.media) if self.media else None,
             "io": asdict(self.io) if self.io else None,
+            "ship": asdict(self.ship) if self.ship else None,
         }
 
     @classmethod
@@ -82,4 +108,5 @@ class FaultPlan:
             seed=data.get("seed", 0),
             media=MediaFaultSpec(**data["media"]) if data.get("media") else None,
             io=IoFaultSpec(**data["io"]) if data.get("io") else None,
+            ship=ShipFaultSpec(**data["ship"]) if data.get("ship") else None,
         )

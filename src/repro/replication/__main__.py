@@ -1,0 +1,8 @@
+"""``python -m repro.replication`` — the replication chaos harness CLI."""
+
+import sys
+
+from repro.replication.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,280 @@
+"""CLI for the replication chaos harness.
+
+Examples::
+
+    # 6 seeds, rotating scheme x durability mode, channel storms + failover
+    python -m repro.replication --seeds 6 --writer-kill --jobs 4
+
+    # follower churn without failover, sync mode only
+    python -m repro.replication --seeds 4 --mode sync --follower-kills 2
+
+    # prove the oracle catches a torn segment past the integrity check
+    python -m repro.replication --seeds 3 --sabotage
+
+    # replay a recorded failing trace
+    python -m repro.replication --replay replication-traces/minimized-1.json
+
+Exit status: 0 for a clean sweep (or a sabotage self-test that found,
+minimized, and deterministically replayed the planted bug), 1 otherwise.
+The digest line is a SHA-256 over canonical JSON results and is
+bit-identical for any ``--jobs`` value.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+
+from repro.bench.harness import parallel_map
+from repro.replication.chaos import (
+    MODE_ROTATION,
+    ROTATION,
+    ReplicationTask,
+    run_replication_chaos,
+    run_task,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.replication.ship import MODES
+from repro.torture.driver import SCHEMES
+
+#: Raw traces written per run before we stop (one per failure otherwise).
+_MAX_TRACES = 5
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.replication",
+        description="Replication chaos harness: a primary service ships "
+        "sealed WAL epochs to follower machines over a fault-injected "
+        "channel, with scripted writer/follower power cuts, failover "
+        "promotion, and a replication-consistency oracle.",
+    )
+    parser.add_argument("--seeds", type=int, default=6, help="seeds 0..N-1 to sweep")
+    parser.add_argument(
+        "--sessions", type=int, default=4, help="concurrent client sessions"
+    )
+    parser.add_argument(
+        "--txns", type=int, default=36, help="total transactions across sessions"
+    )
+    parser.add_argument(
+        "--txn-size", type=int, default=3, help="max ops per transaction"
+    )
+    parser.add_argument(
+        "--scheme",
+        default="rotate",
+        choices=["rotate", *sorted(SCHEMES)],
+        help="NVWAL scheme; 'rotate' cycles %s by seed" % (ROTATION,),
+    )
+    parser.add_argument(
+        "--mode",
+        default="rotate",
+        choices=["rotate", *MODES],
+        help="replication durability mode; 'rotate' cycles %s by seed"
+        % (MODE_ROTATION,),
+    )
+    parser.add_argument(
+        "--followers", type=int, default=2, help="follower machines"
+    )
+    parser.add_argument(
+        "--faults",
+        default="drop,dup,reorder,corrupt",
+        help="comma list of shipping-channel faults: drop,dup,reorder,"
+        "corrupt ('none' for a clean channel)",
+    )
+    parser.add_argument(
+        "--writer-kill",
+        action="store_true",
+        help="power-fail the primary mid-run and fail over to the "
+        "longest-prefix follower",
+    )
+    parser.add_argument(
+        "--follower-kills",
+        type=int,
+        default=0,
+        help="scripted follower power cuts (most restart mid-run)",
+    )
+    parser.add_argument(
+        "--no-group-commit",
+        action="store_true",
+        help="ship per-transaction instead of per group-commit epoch",
+    )
+    parser.add_argument("--jobs", type=int, default=1, help="parallel seed workers")
+    parser.add_argument(
+        "--trace-dir",
+        default="replication-traces",
+        help="directory for failing-trace JSON files",
+    )
+    parser.add_argument(
+        "--replay", metavar="TRACE", help="replay one recorded trace and exit"
+    )
+    parser.add_argument(
+        "--sabotage",
+        action="store_true",
+        help="self-test: followers skip segment verification and the "
+        "primary ships one deliberately torn segment; the sweep must "
+        "find, minimize, and deterministically replay the divergence",
+    )
+    parser.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="write raw failing traces without shrinking them",
+    )
+    return parser
+
+
+def _replay(path: str) -> int:
+    with open(path, encoding="utf-8") as fh:
+        trace = json.load(fh)
+    scenario = scenario_from_dict(trace["scenario"])
+    first = run_replication_chaos(scenario)
+    second = run_replication_chaos(scenario)
+    print(
+        f"replaying {path}: seed={scenario.seed} scheme={scenario.scheme} "
+        f"mode={scenario.mode} followers={scenario.followers} "
+        f"writer_kill_ns={scenario.writer_kill_ns}"
+    )
+    for violation in first.violations:
+        print(f"  {violation}")
+    if first.violations != second.violations:
+        print("replay is NOT deterministic — harness bug")
+        return 1
+    if not first.violations:
+        print("  no violations (scenario passes)")
+        return 0
+    print(f"  {len(first.violations)} violation(s), deterministic across replays")
+    return 1
+
+
+def _write_trace(trace_dir: str, name: str, payload: dict) -> str:
+    os.makedirs(trace_dir, exist_ok=True)
+    path = os.path.join(trace_dir, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    return path
+
+
+def _minimize_and_verify(failure: dict, trace_dir: str) -> bool:
+    """Shrink the first failure, record it, and prove the replay is
+    deterministic.  Returns True on a verified deterministic trace."""
+    from repro.replication.minimize import minimize
+
+    scenario = scenario_from_dict(failure["scenario"])
+    small = minimize(scenario)
+    first = run_replication_chaos(small)
+    second = run_replication_chaos(small)
+    path = _write_trace(
+        trace_dir,
+        f"minimized-{small.seed}.json",
+        {
+            "scenario": scenario_to_dict(small),
+            "violations": list(first.violations),
+        },
+    )
+    txns = sum(len(stream) for stream in small.streams)
+    ops = sum(len(txn) for stream in small.streams for txn in stream)
+    print(
+        f"minimized: {ops} op(s) in {txns} txn(s) across "
+        f"{len(small.streams)} session(s), followers={small.followers}, "
+        f"writer_kill={'yes' if small.writer_kill_ns else 'no'}, "
+        f"follower_kills={len(small.follower_kills)}"
+        + (", channel faults kept" if small.plan else ", channel faults dropped")
+    )
+    for violation in first.violations:
+        print(f"  {violation}")
+    print(f"minimized trace: {path}")
+    if not first.violations or first.violations != second.violations:
+        print("minimized trace does NOT replay deterministically — harness bug")
+        return False
+    print("minimized trace replays deterministically")
+    return True
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.replay:
+        return _replay(args.replay)
+    raw = {f.strip() for f in args.faults.split(",") if f.strip()}
+    faults = tuple(sorted(raw - {"none"}))
+    tasks = [
+        ReplicationTask(
+            seed=seed,
+            sessions=args.sessions,
+            txns=args.txns,
+            txn_size=args.txn_size,
+            scheme=args.scheme,
+            mode=args.mode,
+            followers=args.followers,
+            faults=faults,
+            writer_kill=args.writer_kill,
+            follower_kills=args.follower_kills,
+            sabotage=args.sabotage,
+            group_commit=not args.no_group_commit,
+        )
+        for seed in range(args.seeds)
+    ]
+    print(
+        f"replication chaos: {args.seeds} seed(s) x {args.sessions} "
+        f"session(s) x {args.txns} txns, scheme={args.scheme}, "
+        f"mode={args.mode}, followers={args.followers}, "
+        f"faults={','.join(faults) if faults else 'none'}, "
+        f"writer_kill={'yes' if args.writer_kill else 'no'}, "
+        f"follower_kills={args.follower_kills}, jobs={args.jobs}"
+        + (", SABOTAGE" if args.sabotage else "")
+    )
+    results = parallel_map(run_task, tasks, jobs=args.jobs)
+    failures: list[dict] = []
+    acked = promotions = 0
+    for result in results:
+        acked += result.get("acked", 0)
+        promotions += result.get("promotions", 0)
+        violations = result.get("violations", [])
+        if violations:
+            failures.append(result)
+        failover = result.get("failover_ms")
+        print(
+            f"seed {result['seed']} [{result['scheme']}/{result['mode']}]: "
+            f"{result.get('acked', 0)} acked, "
+            f"{result.get('sealed', 0)} sealed, "
+            f"{result.get('follower_reads', 0)} replica read(s), "
+            f"{result.get('promotions', 0)} promotion(s)"
+            + (f", failover {failover:.2f} ms" if failover else "")
+            + f", {len(violations)} violation(s)"
+        )
+    canonical = json.dumps(results, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    print(
+        f"total: {acked} acked txn(s), {promotions} promotion(s), "
+        f"{len(failures)} violating seed(s)"
+    )
+    print(f"result digest: sha256:{digest}")
+
+    if args.sabotage:
+        if not failures:
+            print("sabotage self-test FAILED: the torn segment went undetected")
+            return 1
+        print(
+            f"sabotage self-test: torn segment detected in "
+            f"{len(failures)} seed(s)"
+        )
+        return 0 if _minimize_and_verify(failures[0], args.trace_dir) else 1
+
+    if not failures:
+        return 0
+    for i, failure in enumerate(failures[:_MAX_TRACES]):
+        path = _write_trace(
+            args.trace_dir,
+            f"trace-{failure['seed']}-{i}.json",
+            failure,
+        )
+        print(f"failing trace: {path}")
+    if not args.no_minimize:
+        _minimize_and_verify(failures[0], args.trace_dir)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,232 @@
+"""A replicated deployment: one primary, N followers, one shipping fleet.
+
+The cluster owns the shared simulated clock (every machine — primary and
+followers — advances on one timeline), builds the primary's database and
+shipping log, wires the replicator into the commit path of a
+:class:`~repro.service.server.DatabaseService`, and runs the failover
+protocol:
+
+1. the primary machine power-fails (``kill_primary``);
+2. ``promote`` elects the live follower with the *longest durable
+   prefix* (highest shipped seq; ties broken toward the lowest node id),
+   scrubs its WAL with ``verify_log`` as a sanity check, and bumps the
+   replication term — fencing any segment the dead primary still had in
+   flight;
+3. the promoted node becomes an ordinary primary: a fresh shipping log
+   (based at the promotion watermark) taps its WAL, and the surviving
+   followers are re-seeded through a full-state snapshot segment, which
+   degenerates to a cheap watermark bump for followers already at the
+   watermark (differential logging ships only the pages that differ).
+
+Epochs past the watermark are *lost* — they were durable only on the
+dead primary.  Whether any of them was promised to a client is exactly
+what the replication oracle audits (see
+:mod:`repro.replication.chaos`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import tuna
+from repro.db.database import Database
+from repro.hw.clock import SimClock
+from repro.replication.node import FollowerNode
+from repro.replication.segment import FLAG_SNAPSHOT, Segment
+from repro.replication.ship import Replicator, ReplicatorConfig, ShippingLog
+from repro.service.server import DatabaseService
+from repro.system import System
+from repro.torture.driver import SCHEMES
+from repro.torture.workload import TABLE
+from repro.wal.nvwal import NvwalBackend
+
+_CREATE_SQL = f"CREATE TABLE {TABLE} (k INTEGER PRIMARY KEY, v TEXT)"
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """Shape of one replicated deployment."""
+
+    followers: int = 2
+    mode: str = "semisync"
+    scheme: str = "uh_ls_diff"
+    checkpoint_threshold: int = 48
+    latency_ns: int = 300_000
+    poll_ns: int = 150_000
+    resend_ns: int = 1_500_000
+    send_window: int = 4
+    #: Sabotage: followers skip segment verification, and the primary
+    #: tears the wire blob of the first eligible epoch at/after this seq.
+    lenient_followers: bool = False
+    sabotage_seq: int = 0
+
+
+class Cluster:
+    """One primary + followers sharing a clock and a shipping fleet."""
+
+    def __init__(
+        self,
+        config: ReplicationConfig,
+        seed: int = 0,
+        ship_spec=None,
+        on_seal=None,
+        on_release=None,
+        profile=None,
+    ) -> None:
+        self.config = config
+        self.seed = seed
+        self.ship_spec = ship_spec
+        self.on_seal = on_seal
+        self.on_release = on_release
+        self.profile = profile
+        self.clock = SimClock()
+        self.term = 1
+        self.promotions = 0
+        self.kill_ns: int | None = None
+
+        system = System(profile or tuna(), seed=seed, clock=self.clock)
+        wal = NvwalBackend(
+            system,
+            SCHEMES[config.scheme](),
+            checkpoint_threshold=config.checkpoint_threshold,
+        )
+        db = Database(system, wal=wal, name="primary.db")
+        # The shipping log taps the WAL *before* the schema exists, so
+        # followers build their entire state — schema included — from
+        # the stream alone.
+        self.shiplog = ShippingLog(wal, self.clock, on_seal=on_seal)
+        db.execute(_CREATE_SQL)
+        self.shiplog.seal(())  # seq 1: the bootstrap (schema) epoch
+
+        self.primary_system = system
+        self.db = db
+        #: The promoted FollowerNode once a failover happened (None while
+        #: the original primary is alive).
+        self.primary_node: FollowerNode | None = None
+        self.followers = [
+            FollowerNode(
+                node_id,
+                self.clock,
+                seed,
+                scheme=config.scheme,
+                checkpoint_threshold=config.checkpoint_threshold,
+                lenient=config.lenient_followers,
+                profile=profile,
+            )
+            for node_id in range(config.followers)
+        ]
+        self.replicator = self._make_replicator(self.followers, None)
+        self.service: DatabaseService | None = None
+        #: Replicators retired by promotion (their lag samples count).
+        self.retired_replicators: list[Replicator] = []
+
+    def _make_replicator(self, followers, base_snapshot) -> Replicator:
+        return Replicator(
+            self.clock,
+            self.shiplog,
+            followers,
+            ReplicatorConfig(
+                mode=self.config.mode,
+                latency_ns=self.config.latency_ns,
+                poll_ns=self.config.poll_ns,
+                resend_ns=self.config.resend_ns,
+                send_window=self.config.send_window,
+            ),
+            term=self.term,
+            ship_spec=self.ship_spec,
+            ship_seed=self.seed,
+            on_release=self.on_release,
+            sabotage_seq=self.config.sabotage_seq,
+            base_snapshot=base_snapshot,
+        )
+
+    # -- service wiring -----------------------------------------------------
+
+    def start_service(
+        self,
+        service_config=None,
+        seed: int = 0,
+        on_ack=None,
+        on_checkpoint=None,
+        on_apply=None,
+    ) -> DatabaseService:
+        """Build a service over the current primary, gated on shipping."""
+        service = DatabaseService(
+            self.db,
+            service_config,
+            seed=seed,
+            on_ack=on_ack,
+            on_checkpoint=on_checkpoint,
+            on_apply=on_apply,
+        )
+        service.replicator = self.replicator
+        self.replicator.service = service
+        self.service = service
+        return service
+
+    # -- failover -----------------------------------------------------------
+
+    def live_followers(self) -> list[FollowerNode]:
+        return [f for f in self.followers if f.alive and f.role == "follower"]
+
+    def kill_primary(self) -> None:
+        """Power-fail the current primary machine."""
+        self.kill_ns = self.clock.now_ns
+        if self.primary_node is not None:
+            self.primary_node.alive = False
+            self.primary_node.system.power_fail()
+        else:
+            self.primary_system.power_fail()
+
+    def promote(self):
+        """Elect and promote the longest-prefix live follower.
+
+        Returns ``(node, watermark, scrub_report)`` or ``None`` when no
+        live follower exists.  Epochs above the watermark are gone; the
+        caller (driver/oracle) decides whether any of them had been
+        promised.
+        """
+        candidates = self.live_followers()
+        if not candidates:
+            return None
+        best = max(candidates, key=lambda f: (f.durable_seq, -f.node_id))
+        scrub = best.wal.verify_log()
+        watermark = best.durable_seq
+        self.term += 1
+        self.promotions += 1
+        best.become_primary(self.term)
+        snapshot = Segment(
+            seq=watermark,
+            term=self.term,
+            txns=0,
+            frames=best.snapshot_frames(),
+            flags=FLAG_SNAPSHOT,
+        )
+        self.shiplog = ShippingLog(
+            best.wal, self.clock, base_seq=watermark, on_seal=self.on_seal
+        )
+        self.db = best.db
+        self.primary_node = best
+        self.retired_replicators.append(self.replicator)
+        survivors = [f for f in self.followers if f is not best]
+        self.replicator = self._make_replicator(survivors, snapshot)
+        self.service = None
+        if not best.db.table_exists(TABLE):
+            # Total-loss corner: the cluster died before the bootstrap
+            # epoch ever shipped.  Re-create the schema so the promoted
+            # primary can serve resubmitted transactions.
+            best.db.execute(_CREATE_SQL)
+            self.shiplog.seal(())
+        return best, watermark, scrub
+
+    # -- probes -------------------------------------------------------------
+
+    @property
+    def head_seq(self) -> int:
+        return self.shiplog.head_seq
+
+    def lag_samples(self) -> list[int]:
+        samples: list[int] = []
+        for replicator in (*self.retired_replicators, self.replicator):
+            samples.extend(replicator.lag_samples)
+        return samples

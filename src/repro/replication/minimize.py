@@ -1,0 +1,112 @@
+"""Shrink a failing replication scenario to a minimal reproducer.
+
+Same delta-debugging spine as the service minimizer
+(:mod:`repro.service.minimize`), adapted to the replication dimensions:
+structural passes first drop the channel fault plan, the follower
+kill/restart script, and the writer kill, then the usual three
+granularities shrink the workload — whole sessions, transactions within
+a stream, operations within a transaction.  The "still fails" predicate
+demands a violation of the same class (the ``code:`` prefix, e.g.
+``replica-divergence``), and every run is deterministic, so the shrink
+result is too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.replication.chaos import (
+    ReplicationScenario,
+    run_replication_chaos,
+)
+from repro.shrink import shrink_sequence
+
+
+def _codes(scenario: ReplicationScenario) -> set:
+    """Violation classes this scenario produces (``code:`` prefixes)."""
+    outcome = run_replication_chaos(scenario)
+    return {v.split(":", 1)[0] for v in outcome.violations}
+
+
+def minimize(scenario: ReplicationScenario) -> ReplicationScenario:
+    """Return the smallest scenario still failing the same way."""
+    target = _codes(scenario)
+    if not target:
+        return scenario  # does not fail; nothing to shrink toward
+
+    def still_fails(candidate: ReplicationScenario) -> bool:
+        return bool(_codes(candidate) & target)
+
+    # Structural simplifications first: each drops a whole dimension.
+    for simpler in (
+        replace(scenario, plan=None),
+        replace(scenario, follower_kills=()),
+        replace(scenario, writer_kill_ns=0),
+        replace(scenario, followers=1)
+        if scenario.followers > 1 and not scenario.follower_kills
+        else scenario,
+        replace(scenario, group_commit=False),
+    ):
+        if simpler != scenario and still_fails(simpler):
+            scenario = simpler
+
+    # Fewer scripted follower kills.
+    if len(scenario.follower_kills) > 1:
+        kills = shrink_sequence(
+            list(scenario.follower_kills),
+            lambda ks: still_fails(
+                replace(scenario, follower_kills=tuple(ks))
+            ),
+            min_size=1,
+        )
+        scenario = replace(scenario, follower_kills=tuple(kills))
+
+    # Drop whole sessions (disjoint key spaces survive any subset).
+    streams = list(scenario.streams)
+    if len(streams) > 1:
+        streams = shrink_sequence(
+            streams,
+            lambda ss: still_fails(replace(scenario, streams=tuple(ss))),
+            min_size=1,
+        )
+        scenario = replace(scenario, streams=tuple(streams))
+
+    # Drop transactions within each surviving stream.
+    for idx in range(len(scenario.streams)):
+
+        def with_stream(txns, idx=idx):
+            streams = list(scenario.streams)
+            streams[idx] = tuple(txns)
+            return replace(scenario, streams=tuple(streams))
+
+        kept = shrink_sequence(
+            list(scenario.streams[idx]),
+            lambda txns: still_fails(with_stream(txns)),
+        )
+        scenario = with_stream(kept)
+
+    # Drop operations within each surviving transaction.
+    for s_idx in range(len(scenario.streams)):
+        for t_idx in range(len(scenario.streams[s_idx])):
+
+            def with_txn(ops, s_idx=s_idx, t_idx=t_idx):
+                streams = [list(st) for st in scenario.streams]
+                streams[s_idx][t_idx] = tuple(ops)
+                return replace(
+                    scenario, streams=tuple(tuple(st) for st in streams)
+                )
+
+            kept = shrink_sequence(
+                list(scenario.streams[s_idx][t_idx]),
+                lambda ops: still_fails(with_txn(ops)),
+                min_size=1,
+            )
+            scenario = with_txn(kept)
+
+    # Empty streams left behind by the txn shrink are pure noise.
+    pruned = tuple(st for st in scenario.streams if st)
+    if pruned != scenario.streams and pruned:
+        candidate = replace(scenario, streams=pruned)
+        if still_fails(candidate):
+            scenario = candidate
+    return scenario

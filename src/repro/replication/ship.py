@@ -1,0 +1,334 @@
+"""Log shipping: the primary's sealed-epoch archive, the fault-injectable
+channel, and the replicator that gates commit acknowledgements.
+
+**ShippingLog** taps ``wal.on_commit`` to capture the frames of every
+committed transaction the moment they are durable on the primary, and
+seals them — one sealed *entry* per group-commit epoch (or per standalone
+commit without group commit).  Entries get dense sequence numbers
+starting above ``base_seq`` (0 for the original primary; the promotion
+watermark for a promoted one).  Entries are archived **decoded**: the
+wire blob is produced at send time so it always carries the *current*
+term, fencing followers against stale pre-failover traffic.
+
+**Channel** is a simulated one-way link with fixed latency and an
+optional :class:`repro.faults.ShipFaultInjector` that drops, duplicates,
+reorders, and bit-flips batches in flight.
+
+**Replicator** is the cluster daemon: it pumps sends (window-limited,
+resent on timeout), delivers due batches into followers, samples
+replication lag, and releases parked commit tickets once the configured
+durability mode is satisfied:
+
+* ``sync`` — every *live* follower has the epoch durable;
+* ``semisync`` — at least one live follower does;
+* ``async`` — released immediately (local durability only).
+
+With no live follower at all, every mode degrades to local durability —
+blocking writes forever on a dead fleet would turn a replication outage
+into a total outage.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+
+from repro.faults.inject import ShipFaultInjector
+from repro.replication.segment import FLAG_SNAPSHOT, Segment, encode_segment
+
+MODES = ("sync", "semisync", "async")
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One sealed epoch: its frames plus the transactions it carried."""
+
+    seq: int
+    frames: tuple
+    metas: tuple  # ((session_id, ops), ...) in commit order
+    sealed_ns: int
+
+
+class ShippingLog:
+    """Capture committed frames from a WAL and seal them into entries."""
+
+    def __init__(self, wal, clock, base_seq: int = 0, on_seal=None) -> None:
+        self.clock = clock
+        self.base_seq = base_seq
+        self.entries: list[LogEntry] = []
+        self.on_seal = on_seal
+        self._pending: list = []
+        wal.on_commit = self._collect
+
+    def _collect(self, txn_frames) -> None:
+        for frames in txn_frames:
+            self._pending.extend(frames)
+
+    @property
+    def head_seq(self) -> int:
+        return self.base_seq + len(self.entries)
+
+    def seal(self, metas) -> LogEntry:
+        """Seal everything committed since the last seal as one entry."""
+        entry = LogEntry(
+            seq=self.head_seq + 1,
+            frames=tuple(self._pending),
+            metas=tuple(metas),
+            sealed_ns=self.clock.now_ns,
+        )
+        self._pending = []
+        self.entries.append(entry)
+        if self.on_seal is not None:
+            self.on_seal(entry)
+        return entry
+
+    def entry(self, seq: int) -> LogEntry | None:
+        index = seq - self.base_seq - 1
+        if 0 <= index < len(self.entries):
+            return self.entries[index]
+        return None
+
+    def window(self, lo_seq: int, hi_seq: int) -> list[LogEntry]:
+        lo = max(0, lo_seq - self.base_seq - 1)
+        hi = hi_seq - self.base_seq
+        return self.entries[lo:hi]
+
+
+class Channel:
+    """One-way primary→follower link with latency and injected faults."""
+
+    def __init__(self, clock, latency_ns: int, injector=None) -> None:
+        self.clock = clock
+        self.latency_ns = latency_ns
+        self.injector = injector
+        self._seq = 0
+        #: min-heap of (deliver_ns, seq, payload)
+        self._inflight: list = []
+
+    def send(self, payload: bytes) -> None:
+        fates = (
+            self.injector.deliveries(payload)
+            if self.injector is not None
+            else [(0, payload)]
+        )
+        for extra_delay_ns, data in fates:
+            self._seq += 1
+            deliver_ns = self.clock.now_ns + self.latency_ns + extra_delay_ns
+            heapq.heappush(self._inflight, (deliver_ns, self._seq, data))
+
+    def poll(self) -> list[bytes]:
+        """Pop every batch whose delivery time has arrived."""
+        due = []
+        while self._inflight and self._inflight[0][0] <= self.clock.now_ns:
+            due.append(heapq.heappop(self._inflight)[2])
+        return due
+
+    def pending(self) -> int:
+        return len(self._inflight)
+
+
+@dataclass(frozen=True)
+class ReplicatorConfig:
+    """Tunables of the shipping daemon."""
+
+    mode: str = "semisync"
+    latency_ns: int = 300_000
+    poll_ns: int = 150_000
+    resend_ns: int = 1_500_000
+    send_window: int = 4
+
+
+class Replicator:
+    """Ships sealed entries to followers and gates acks on durability."""
+
+    def __init__(
+        self,
+        clock,
+        shiplog: ShippingLog,
+        followers,
+        config: ReplicatorConfig,
+        term: int = 1,
+        ship_spec=None,
+        ship_seed: int = 0,
+        on_release=None,
+        sabotage_seq: int = 0,
+        base_snapshot: Segment | None = None,
+    ) -> None:
+        if config.mode not in MODES:
+            raise ValueError(f"unknown durability mode {config.mode!r}")
+        self.clock = clock
+        self.shiplog = shiplog
+        self.followers = list(followers)
+        self.config = config
+        self.term = term
+        self.on_release = on_release
+        #: The service whose tickets this replicator releases (set by the
+        #: cluster when the service is built).
+        self.service = None
+        self.base_snapshot = base_snapshot
+        self.channels = {
+            node.node_id: Channel(
+                clock,
+                config.latency_ns,
+                ShipFaultInjector(ship_spec, (ship_seed * 31 + node.node_id) & 0x7FFFFFFF)
+                if ship_spec is not None
+                else None,
+            )
+            for node in self.followers
+        }
+        self._last_send_ns = {node.node_id: -(10**18) for node in self.followers}
+        #: (seq, [tickets]) awaiting the durability criterion, seq order.
+        self._waiting: deque = deque()
+        #: seq -> delay between seal and follower apply, one per apply.
+        self.lag_samples: list[int] = []
+        #: seq -> frozenset of follower ids durable at release time.
+        self.ack_records: dict[int, frozenset] = {}
+        self.released_seq = shiplog.base_seq
+        #: Sabotage: corrupt the wire blob of the first frame-bearing,
+        #: transaction-bearing entry at or above this seq (0 = off).
+        self.sabotage_seq = sabotage_seq
+        self._sabotaged_seq: int | None = None
+
+    # -- commit gating ------------------------------------------------------
+
+    def gate(self, tickets) -> LogEntry:
+        """Seal one epoch's tickets and park them behind the mode gate."""
+        entry = self.shiplog.seal([(t.session_id, t.ops) for t in tickets])
+        self._waiting.append((entry.seq, list(tickets)))
+        self.tick()
+        return entry
+
+    def _live(self):
+        return [node for node in self.followers if node.alive]
+
+    def _satisfied(self, seq: int) -> bool:
+        live = self._live()
+        if self.config.mode == "async" or not live:
+            return True
+        if self.config.mode == "sync":
+            return all(node.durable_seq >= seq for node in live)
+        return any(node.durable_seq >= seq for node in live)
+
+    def _release_ready(self) -> None:
+        while self._waiting and self._satisfied(self._waiting[0][0]):
+            seq, tickets = self._waiting.popleft()
+            acked_by = frozenset(
+                node.node_id
+                for node in self.followers
+                if node.alive and node.durable_seq >= seq
+            )
+            self.ack_records[seq] = acked_by
+            self.released_seq = seq
+            for ticket in tickets:
+                if self.service is not None:
+                    self.service._ack(ticket.session_id, ticket.ops)
+                ticket.done = True
+            if self.on_release is not None:
+                self.on_release(seq, acked_by)
+
+    # -- shipping -----------------------------------------------------------
+
+    def _encode_entry(self, entry: LogEntry) -> bytes:
+        frames = entry.frames
+        if self.sabotage_seq and frames and entry.metas:
+            if self._sabotaged_seq is None and entry.seq >= self.sabotage_seq:
+                self._sabotaged_seq = entry.seq
+        blob = encode_segment(
+            Segment(
+                seq=entry.seq,
+                term=self.term,
+                txns=len(entry.metas),
+                frames=frames,
+            )
+        )
+        if entry.seq == self._sabotaged_seq:
+            blob = self._tear(blob, frames[-1])
+        return blob
+
+    @staticmethod
+    def _tear(blob: bytes, last_frame) -> bytes:
+        """Corrupt the last frame's payload in place — a torn segment.
+
+        Three bytes spread across the payload are flipped, so the damage
+        cannot hide entirely in dead page space.  Checksums and close
+        word are left as encoded: a verifying follower rejects the
+        segment, a sabotaged (non-verifying) one applies garbage.
+        """
+        torn = bytearray(blob)
+        start = len(blob) - (len(last_frame.payload) + 7) // 8 * 8
+        span = max(1, len(last_frame.payload))
+        for frac in (0, span // 3, 2 * span // 3):
+            torn[min(start + frac, len(torn) - 1)] ^= 0x10
+        return bytes(torn)
+
+    def _encode_snapshot(self) -> bytes | None:
+        if self.base_snapshot is None:
+            return None
+        return encode_segment(
+            Segment(
+                seq=self.base_snapshot.seq,
+                term=self.term,
+                txns=0,
+                frames=self.base_snapshot.frames,
+                flags=FLAG_SNAPSHOT,
+            )
+        )
+
+    def _pump_sends(self, node, channel: Channel, now_ns: int) -> None:
+        head = self.shiplog.head_seq
+        # A follower below the shipping log's base cannot be caught up by
+        # entries (they were truncated at promotion); one whose durable
+        # cursor runs *past* the base under an older term holds divergent
+        # history.  Both need a full snapshot.  A follower sitting exactly
+        # at the base — including a fresh one at seq 0, term 0 — catches
+        # up through ordinary entries, adopting the term as it applies.
+        stale = node.durable_seq < self.shiplog.base_seq or (
+            node.term < self.term and node.durable_seq > self.shiplog.base_seq
+        )
+        if not stale and node.durable_seq >= head:
+            return
+        idle = channel.pending() == 0
+        timed_out = (
+            now_ns - self._last_send_ns[node.node_id] >= self.config.resend_ns
+        )
+        if not idle and not timed_out:
+            return
+        if stale:
+            blob = self._encode_snapshot()
+            if blob is None:
+                return
+        else:
+            lo = node.durable_seq + 1
+            hi = min(head, node.durable_seq + self.config.send_window)
+            blob = b"".join(
+                self._encode_entry(entry) for entry in self.shiplog.window(lo, hi)
+            )
+            if not blob:
+                return
+        channel.send(blob)
+        self._last_send_ns[node.node_id] = now_ns
+
+    def tick(self) -> None:
+        """One pump: deliver due batches, ingest, send, release."""
+        now_ns = self.clock.now_ns
+        for node in self.followers:
+            channel = self.channels[node.node_id]
+            due = channel.poll()
+            if not node.alive:
+                continue  # link down: due batches are lost on the floor
+            for payload in due:
+                before = node.durable_seq
+                node.ingest(payload)
+                for seq in range(before + 1, node.durable_seq + 1):
+                    entry = self.shiplog.entry(seq)
+                    if entry is not None:
+                        self.lag_samples.append(now_ns - entry.sealed_ns)
+            self._pump_sends(node, channel, now_ns)
+        self._release_ready()
+
+    def daemon(self):
+        """Scheduler daemon: tick the pump forever."""
+        while True:
+            yield self.config.poll_ns
+            self.tick()

@@ -79,13 +79,19 @@ class Scheduler:
     def _live_regular(self) -> bool:
         return any(not j.done and not j.daemon for j in self.jobs)
 
-    def run(self) -> None:
+    def run(self, deadline_ns: int | None = None) -> None:
         """Step jobs until every regular job has finished.
 
         Job exceptions other than :class:`PowerFailure` are captured on
         the job (``job.error``) rather than raised: one failing client
         must not take the service down.  :class:`PowerFailure` always
         propagates — power loss stops the world.
+
+        ``deadline_ns`` is a liveness watchdog: once the next wake time
+        passes it, the scheduler pushes the event back and returns with
+        regular jobs still unfinished — the caller decides whether a
+        stalled run is a violation.  (The clock never advances past the
+        deadline.)
         """
         while self._ready and self._live_regular():
             wake_ns, _seq, job = heapq.heappop(self._ready)
@@ -93,6 +99,11 @@ class Scheduler:
                 continue
             if job.daemon and not self._live_regular():
                 continue
+            if deadline_ns is not None and wake_ns > deadline_ns:
+                # Re-insert with the original sequence number so FIFO
+                # tie-breaking is unchanged if the caller resumes.
+                heapq.heappush(self._ready, (wake_ns, _seq, job))
+                return
             if wake_ns > self.clock.now_ns:
                 self.clock.advance_to(wake_ns)
             job.steps += 1

@@ -173,6 +173,11 @@ class DatabaseService:
         #: power failure mid-flush still exposes the epoch's members to
         #: the crash oracle (the close mark may or may not have landed).
         self._flushing: tuple[_CommitTicket, ...] = ()
+        #: Optional :class:`repro.replication.ship.Replicator`.  When
+        #: set, commit acknowledgements wait behind the replication gate
+        #: (mode-dependent: sync/semisync/async) instead of being sent
+        #: the moment the transaction is locally durable.
+        self.replicator = None
 
     # ------------------------------------------------------------------
     # write path
@@ -203,6 +208,14 @@ class DatabaseService:
                     elif self.config.ack_before_commit:
                         self._ack(session_id, ops)
                         self._commit(session_id)
+                    elif self.replicator is not None:
+                        self._commit(session_id)
+                        # Durable locally; the ack waits behind the
+                        # replication gate (the replicator calls _ack
+                        # and releases the ticket in sequence order).
+                        ticket = _CommitTicket(session_id, ops)
+                        self.replicator.gate((ticket,))
+                        yield from self._await_ticket(ticket)
                     else:
                         self._commit(session_id)
                         self._ack(session_id, ops)
@@ -375,6 +388,13 @@ class DatabaseService:
                 raise
             # Epoch closed durably; only the auto-checkpoint failed.
             self.stats.checkpoint_failures += 1
+        if self.replicator is not None and not self.config.ack_before_commit:
+            # Epoch durable locally; acks and ticket release wait behind
+            # the replication gate (mode-dependent).
+            self.stats.epochs_flushed += 1
+            self._flushing = ()
+            self.replicator.gate(tuple(tickets))
+            return
         if not self.config.ack_before_commit:
             for ticket in tickets:
                 self._ack(ticket.session_id, ticket.ops)

@@ -32,10 +32,17 @@ from repro.storage.trace import BlockTrace
 class System:
     """One simulated machine: CPU + NVRAM + flash + filesystem."""
 
-    def __init__(self, config: SystemConfig | None = None, seed: int | None = 0):
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        seed: int | None = 0,
+        clock: SimClock | None = None,
+    ):
         self.config = config or tuna()
         self.seed = seed
-        self.clock = SimClock()
+        # Replication runs several machines side by side; passing a shared
+        # clock keeps writer and followers on one simulated timeline.
+        self.clock = clock if clock is not None else SimClock()
         self.stats = Stats()
         self.nvram = NvramDevice(self.config.nvram)
         self.cache = CacheHierarchy(self.config.cache, self.nvram)

@@ -25,6 +25,16 @@ class RecoveryReport:
     ``reason`` says why, and ``frames_salvaged`` records the committed
     prefix that was kept *despite* the corruption (equal to
     ``frames_replayed``; zero on a clean log).
+
+    ``commit_boundaries`` are the cumulative committed-frame counts at
+    every commit point the scan accepted — one entry per standalone
+    commit mark or epoch-close mark, in log order, so
+    ``commit_boundaries[-1] == frames_replayed`` whenever any unit
+    committed.  ``epochs_replayed`` is ``len(commit_boundaries)``.  A
+    shipping cursor and the salvage scan agree on prefix identity through
+    these: "the first N closed units" means exactly "the first
+    ``commit_boundaries[N-1]`` frames", with no off-by-one between the
+    verify_log prefix length and the group-commit close marks.
     """
 
     frames_replayed: int = 0
@@ -32,6 +42,8 @@ class RecoveryReport:
     frames_dropped: int = 0
     corruption_detected: bool = False
     reason: str = ""
+    epochs_replayed: int = 0
+    commit_boundaries: tuple = ()
 
 
 class SyncMode(str, enum.Enum):

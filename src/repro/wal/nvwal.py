@@ -154,6 +154,9 @@ class _EpochState:
     frame_ptrs: list[tuple[int, int]] = field(default_factory=list)
     #: Transactions appended so far (including frameless no-ops).
     txns: int = 0
+    #: Per-transaction frame lists, in append order (empty list for a
+    #: frameless no-op) — what the shipping hook exports at close.
+    txn_frames: list = field(default_factory=list)
     #: Address / stored checksum of the epoch's last frame — the close
     #: mark is stamped there.
     last_addr: int | None = None
@@ -189,6 +192,12 @@ class NvwalBackend(WalBackend):
         self._link_addr = self._root.addr + _ROOT_FIRST_BLOCK_OFFSET
         #: Open group-commit epoch, or None (see :meth:`group_begin`).
         self._epoch: _EpochState | None = None
+        #: Optional frame-export hook, called as ``on_commit(txn_frames)``
+        #: with a list of per-transaction :class:`NvFrame` lists the
+        #: moment those transactions become durable (a standalone commit
+        #: mark, or the epoch-close mark covering the whole batch).  The
+        #: replication shipping log taps this to stream committed frames.
+        self.on_commit = None
 
     # ------------------------------------------------------------------
     # root management
@@ -287,6 +296,8 @@ class NvwalBackend(WalBackend):
                 frame.page_no, bytes(self.system.page_size)
             )
             self._logged_images[frame.page_no] = frame.apply_to(base)
+        if commit and self.on_commit is not None:
+            self.on_commit([frames])
 
     def _write_commit_mark(
         self, last_frame_addr: int, checksum: int, explicit: bool
@@ -354,6 +365,7 @@ class NvwalBackend(WalBackend):
         epoch = self._epoch
         epoch.txns += 1
         frames = self._build_frames(dirty_pages)
+        epoch.txn_frames.append(frames)
         if not frames:
             return
         costs = self.system.config.db_costs
@@ -411,6 +423,11 @@ class NvwalBackend(WalBackend):
         epoch = self._epoch
         self._epoch = None
         if not epoch.frame_ptrs:
+            if self.on_commit is not None:
+                # All-no-op epoch: nothing to persist, but the shipping
+                # log still needs the (empty) transaction boundaries so
+                # replica sequence numbers stay aligned.
+                self.on_commit(epoch.txn_frames)
             return epoch.txns
         explicit = self.scheme.persistency is PersistencyModel.EXPLICIT
 
@@ -426,6 +443,8 @@ class NvwalBackend(WalBackend):
 
         # --- epoch commit: one atomic close-mark store ---
         self._write_epoch_close(epoch.last_addr, epoch.last_checksum, explicit)
+        if self.on_commit is not None:
+            self.on_commit(epoch.txn_frames)
         return epoch.txns
 
     def _flush_coalesced(self, ptrs: list[tuple[int, int]]) -> None:
@@ -597,6 +616,13 @@ class NvwalBackend(WalBackend):
         self._logged_images = dict(images)
         self._frame_count = len(committed)
         report.frames_replayed = len(committed)
+        if len(committed) < (report.commit_boundaries or (0,))[-1]:
+            # Frame application truncated the replayed prefix: drop the
+            # commit boundaries past it so cursor and salvage stay agreed.
+            report.commit_boundaries = tuple(
+                b for b in report.commit_boundaries if b <= len(committed)
+            )
+            report.epochs_replayed = len(report.commit_boundaries)
         if report.corruption_detected:
             report.frames_salvaged = len(committed)
         return images
@@ -671,12 +697,18 @@ class NvwalBackend(WalBackend):
         committed: list[NvFrame] = []
         pending: list[NvFrame] = []
         tail: tuple[int, int] | None = None
+        boundaries: list[int] = []
+
+        def finish() -> tuple[list[NvFrame], tuple[int, int] | None]:
+            report.commit_boundaries = tuple(boundaries)
+            report.epochs_replayed = len(boundaries)
+            return committed, tail
 
         def salvage(reason: str) -> tuple[list[NvFrame], tuple[int, int] | None]:
             report.corruption_detected = True
             report.reason = report.reason or reason
             report.frames_dropped += len(pending)
-            return committed, tail
+            return finish()
 
         for block_index, alloc in enumerate(chain):
             pos = _BLOCK_HEADER_SIZE
@@ -717,8 +749,9 @@ class NvwalBackend(WalBackend):
                     committed.extend(pending)
                     pending.clear()
                     tail = (block_index, pos)
+                    boundaries.append(len(committed))
         report.frames_dropped += len(pending)
-        return committed, tail
+        return finish()
 
     def verify_log(self) -> RecoveryReport:
         """Read-only scrub of the live NVRAM log.

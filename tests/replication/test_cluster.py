@@ -1,0 +1,174 @@
+"""Cluster wiring: shipping to head, mode gating, failover promotion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.replication.cluster import TABLE, Cluster, ReplicationConfig
+
+_STEP_NS = 200_000
+
+
+class FakeTicket:
+    def __init__(self, session_id="s0", ops=()):
+        self.session_id = session_id
+        self.ops = tuple(ops)
+        self.done = False
+
+
+def pump(cluster, ticks=200):
+    for _ in range(ticks):
+        cluster.clock.advance(_STEP_NS)
+        cluster.replicator.tick()
+
+
+def insert_and_seal(cluster, k, gate=False):
+    cluster.db.execute(f"INSERT INTO {TABLE} VALUES (?, ?)", (k, f"v{k}"))
+    if gate:
+        ticket = FakeTicket()
+        cluster.replicator.gate((ticket,))
+        return ticket
+    return cluster.shiplog.seal(())
+
+
+def make(mode="semisync", followers=2, **kw) -> Cluster:
+    return Cluster(
+        ReplicationConfig(followers=followers, mode=mode, **kw), seed=5
+    )
+
+
+class TestShipping:
+    def test_followers_reach_head_and_match(self):
+        cluster = make()
+        for k in range(5):
+            insert_and_seal(cluster, k)
+        pump(cluster)
+        want = [(k, f"v{k}") for k in range(5)]
+        for node in cluster.followers:
+            assert node.durable_seq == cluster.head_seq
+            assert node.term == cluster.term
+            assert sorted(node.db.dump_table(TABLE)) == want
+
+    def test_lag_samples_recorded(self):
+        cluster = make()
+        insert_and_seal(cluster, 1)
+        pump(cluster)
+        samples = cluster.lag_samples()
+        # One sample per follower per applied epoch (bootstrap + ours).
+        assert len(samples) == 4
+        assert all(s > 0 for s in samples)
+
+
+class TestModeGating:
+    def test_async_releases_immediately(self):
+        cluster = make(mode="async")
+        ticket = insert_and_seal(cluster, 1, gate=True)
+        assert ticket.done  # no ticks, no follower progress needed
+
+    def test_semisync_waits_for_one_follower(self):
+        cluster = make(mode="semisync")
+        ticket = insert_and_seal(cluster, 1, gate=True)
+        assert not ticket.done
+        pump(cluster, ticks=40)
+        assert ticket.done
+        seq = cluster.head_seq
+        assert len(cluster.replicator.ack_records[seq]) >= 1
+
+    def test_sync_waits_for_all_live_followers(self):
+        cluster = make(mode="sync", followers=3)
+        ticket = insert_and_seal(cluster, 1, gate=True)
+        pump(cluster, ticks=200)
+        assert ticket.done
+        seq = cluster.head_seq
+        assert cluster.replicator.ack_records[seq] == frozenset({0, 1, 2})
+
+    def test_sync_skips_dead_followers(self):
+        cluster = make(mode="sync")
+        cluster.followers[0].kill()
+        ticket = insert_and_seal(cluster, 1, gate=True)
+        pump(cluster, ticks=200)
+        assert ticket.done
+        assert cluster.replicator.ack_records[cluster.head_seq] == frozenset(
+            {1}
+        )
+
+    def test_all_dead_degrades_to_local_durability(self):
+        cluster = make(mode="sync")
+        for node in cluster.followers:
+            node.kill()
+        ticket = insert_and_seal(cluster, 1, gate=True)
+        assert ticket.done
+        assert cluster.replicator.ack_records[cluster.head_seq] == frozenset()
+
+
+class TestFailover:
+    def test_promotion_elects_longest_prefix(self):
+        cluster = make()
+        for k in range(4):
+            insert_and_seal(cluster, k)
+        pump(cluster)
+        # Hold follower 1 back by killing it, then advance the primary.
+        cluster.followers[1].kill()
+        insert_and_seal(cluster, 99)
+        pump(cluster, ticks=40)
+        cluster.followers[1].restart()
+        head = cluster.head_seq
+        assert cluster.followers[0].durable_seq == head
+        assert cluster.followers[1].durable_seq < head
+        cluster.kill_primary()
+        promoted = cluster.promote()
+        assert promoted is not None
+        node, watermark, scrub = promoted
+        assert node is cluster.followers[0]
+        assert watermark == head
+        assert not scrub.corruption_detected
+        assert cluster.term == 2
+        assert node.role == "primary"
+        want = sorted([(k, f"v{k}") for k in range(4)] + [(99, "v99")])
+        assert sorted(cluster.db.dump_table(TABLE)) == want
+
+    def test_survivors_converge_on_new_primary(self):
+        cluster = make()
+        for k in range(3):
+            insert_and_seal(cluster, k)
+        pump(cluster)
+        cluster.kill_primary()
+        cluster.promote()
+        # New primary writes; the survivor catches up via the new
+        # replicator (snapshot degenerates to a watermark bump).
+        insert_and_seal(cluster, 50)
+        pump(cluster)
+        survivor = [
+            f for f in cluster.followers if f.role == "follower"
+        ][0]
+        assert survivor.term == cluster.term
+        assert survivor.durable_seq == cluster.head_seq
+        assert sorted(survivor.db.dump_table(TABLE)) == sorted(
+            cluster.db.dump_table(TABLE)
+        )
+
+    def test_promote_with_no_live_follower_returns_none(self):
+        cluster = make()
+        for node in cluster.followers:
+            node.kill()
+        cluster.kill_primary()
+        assert cluster.promote() is None
+
+    def test_promotion_fences_stale_segments(self):
+        """Traffic encoded under the old term cannot regress a follower
+        that already adopted the new term."""
+        cluster = make()
+        for k in range(3):
+            insert_and_seal(cluster, k)
+        pump(cluster)
+        old_replicator = cluster.replicator
+        old_entry = cluster.shiplog.entries[-1]
+        cluster.kill_primary()
+        cluster.promote()
+        insert_and_seal(cluster, 70)
+        pump(cluster)
+        survivor = [f for f in cluster.followers if f.role == "follower"][0]
+        before = (survivor.durable_seq, survivor.term)
+        stale_blob = old_replicator._encode_entry(old_entry)
+        survivor.ingest(stale_blob)
+        assert (survivor.durable_seq, survivor.term) == before

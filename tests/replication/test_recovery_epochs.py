@@ -1,0 +1,111 @@
+"""RecoveryReport epoch metadata: commit boundaries and epoch counts.
+
+The shipping layer slices a recovered log at commit/close boundaries, so
+``RecoveryReport`` now exposes them: ``commit_boundaries`` holds the
+cumulative committed frame count at each commit (or epoch close) point,
+and ``epochs_replayed`` counts those points — a standalone commit is a
+singleton epoch, a closed group-commit epoch counts once however many
+transactions it batched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import System, tuna
+from repro.wal.nvwal import NvwalScheme
+from tests.conftest import make_nvwal_db
+
+SCHEMES = [
+    NvwalScheme.eager(),
+    NvwalScheme.uh_ls_diff(),
+    NvwalScheme.uh_cs_diff(),
+]
+
+
+@pytest.fixture
+def system():
+    return System(tuna(), seed=0)
+
+
+def reopen(system, scheme):
+    system.power_fail()
+    system.reboot()
+    return make_nvwal_db(system, scheme)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.name)
+class TestStandaloneCommits:
+    def test_boundaries_cover_every_commit(self, system, scheme):
+        db = make_nvwal_db(system, scheme)
+        db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v TEXT)")
+        for k in range(4):
+            db.execute("INSERT INTO t VALUES (?, ?)", (k, f"v{k}"))
+        db2 = reopen(system, scheme)
+        report = db2.wal.last_recovery
+        bounds = report.commit_boundaries
+        if report.frames_replayed:
+            # Boundaries are strictly increasing cumulative counts and
+            # the last one covers everything that was replayed.
+            assert list(bounds) == sorted(set(bounds))
+            assert bounds[-1] == report.frames_replayed
+            # Every standalone commit is a singleton epoch: schema +
+            # four inserts (the catalog may add its own commits).
+            assert report.epochs_replayed == len(bounds) >= 5
+        else:
+            assert bounds == ()
+
+    def test_fresh_log_has_no_boundaries(self, system, scheme):
+        db = make_nvwal_db(system, scheme)
+        report = db.wal.last_recovery
+        assert report.commit_boundaries == ()
+        assert report.epochs_replayed == 0
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.name)
+class TestGroupCommitEpochs:
+    def test_epoch_close_marks_counted(self, system, scheme):
+        db = make_nvwal_db(system, scheme)
+        db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v TEXT)")
+        for k in range(6):
+            db.begin()
+            db.execute("INSERT INTO t VALUES (?, ?)", (k, f"v{k}"))
+            db.group_commit()
+            if k % 2 == 1:
+                db.flush_group()
+        db2 = reopen(system, scheme)
+        report = db2.wal.last_recovery
+        if report.frames_replayed:
+            # Schema commit is standalone; the three closed epochs each
+            # end at a boundary.
+            assert report.epochs_replayed >= 1
+            assert report.commit_boundaries[-1] == report.frames_replayed
+            rows = sorted(k for k, _v in db2.query("SELECT * FROM t"))
+            assert rows == list(range(6))
+
+    def test_verify_log_reports_same_boundaries(self, system, scheme):
+        db = make_nvwal_db(system, scheme)
+        db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v TEXT)")
+        for k in range(3):
+            db.execute("INSERT INTO t VALUES (?, ?)", (k, f"v{k}"))
+        scrub = db.wal.verify_log()
+        db2 = reopen(system, scheme)
+        report = db2.wal.last_recovery
+        if scheme.sync is not NvwalScheme.uh_cs_diff().sync:
+            # Synchronous schemes lose nothing at the cut: the read-only
+            # scrub before the cut and the recovery after it agree.
+            assert scrub.commit_boundaries == report.commit_boundaries
+            assert scrub.epochs_replayed == report.epochs_replayed
+
+    def test_boundaries_truncated_with_shed_frames(self, system, scheme):
+        """CS may shed the tail at power loss; boundaries never point
+        past what recovery actually applied."""
+        db = make_nvwal_db(system, scheme)
+        db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v TEXT)")
+        for k in range(8):
+            db.execute("INSERT INTO t VALUES (?, ?)", (k, f"v{k}"))
+        db2 = reopen(system, scheme)
+        report = db2.wal.last_recovery
+        assert all(b <= report.frames_replayed for b in report.commit_boundaries)
+        if report.commit_boundaries:
+            assert report.commit_boundaries[-1] == report.frames_replayed
