@@ -22,6 +22,7 @@ from repro.bench.experiments import (
     service_storm,
     table1,
     table2,
+    workloads,
 )
 
 EXPERIMENTS = {
@@ -41,6 +42,7 @@ EXPERIMENTS = {
     "group_commit": group_commit.run,
     "service_storm": service_storm.run,
     "replication": replication.run,
+    "workloads": workloads.run,
 }
 
 __all__ = ["EXPERIMENTS"]

@@ -1,0 +1,134 @@
+"""Workload-suite throughput: mix x scheme x group commit.
+
+Not a paper figure: the paper benchmarks a mobile-app insert trace one
+connection at a time.  This experiment runs the workload suite — YCSB
+mixes A–F over an indexed table, time-series append+retention, and the
+durable queue — across three representative NVWAL schemes with and
+without epoch-batched group commit, reporting simulated throughput and
+p95 transaction latency per cell.  Every cell runs the full workload
+oracle (fold-model read checks, final-state match, page-accounting
+integrity, recovery check), so a nonzero violation count fails the
+experiment.
+
+``run()`` snapshots the results to ``BENCH_workloads.json`` (a committed
+trajectory file like ``BENCH_service.json``) so future PRs can track
+per-mix throughput.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.harness import parallel_map
+from repro.bench.report import Report, Table
+from repro.workloads.runner import WORKLOADS, RunConfig, run_one
+
+SEEDS = (0, 1, 2)
+QUICK_SEEDS = (0,)
+
+#: (label, scheme) — the paper's eager baseline plus the two headline
+#: NVWAL variants (byte-granularity lazy sync and asynchronous checksum
+#: commit, both on the user-level heap with differential logging).
+SCHEMES_UNDER_TEST = (
+    ("E", "eager"),
+    ("LS", "uh_ls_diff"),
+    ("CS", "uh_cs_diff"),
+)
+
+#: (label, group_epoch) — per-transaction durability vs the coalescer.
+GROUP_MODES = (("off", 0), ("on", 4))
+
+OUT_FILE = "BENCH_workloads.json"
+
+
+def _aggregate(results) -> dict:
+    txns = sum(r["txns"] for r in results)
+    sim_ns = sum(r["sim_time_ms"] for r in results) * 1_000_000
+    return {
+        "txns": txns,
+        "reads_checked": sum(r["reads_checked"] for r in results),
+        "txns_per_sec": round(txns / (sim_ns / 1e9), 1) if sim_ns else 0.0,
+        "p95_us": max(r["p95_us"] for r in results),
+        "violations": sum(len(r["violations"]) for r in results),
+    }
+
+
+def run(quick: bool = False, jobs: int = 1) -> Report:
+    """Throughput + p95 per workload mix x scheme x group commit."""
+    seeds = QUICK_SEEDS if quick else SEEDS
+    ops = 60 if quick else 140
+    cells = [
+        (mix, scheme_label, scheme, group_label, epoch)
+        for mix in WORKLOADS
+        for scheme_label, scheme in SCHEMES_UNDER_TEST
+        for group_label, epoch in GROUP_MODES
+    ]
+    tasks = [
+        RunConfig(
+            workload=mix, seed=seed, ops=ops, scheme=scheme, group_epoch=epoch
+        )
+        for (mix, _sl, scheme, _gl, epoch) in cells
+        for seed in seeds
+    ]
+    results = parallel_map(run_one, tasks, jobs=jobs)
+    by_cell: dict[tuple, list] = {}
+    for r in results:
+        by_cell.setdefault(
+            (r["workload"], r["scheme"], r["group_epoch"]), []
+        ).append(r)
+
+    rows = []
+    snapshot: dict = {}
+    violations_total = 0
+    for mix in WORKLOADS:
+        probes = snapshot.setdefault(mix, {})
+        for scheme_label, scheme in SCHEMES_UNDER_TEST:
+            per_scheme = probes.setdefault(scheme_label, {})
+            cells_out = {}
+            for group_label, epoch in GROUP_MODES:
+                agg = _aggregate(by_cell[(mix, scheme, epoch)])
+                per_scheme[f"group_{group_label}"] = agg
+                cells_out[group_label] = agg
+                violations_total += agg["violations"]
+            rows.append([
+                mix,
+                scheme_label,
+                cells_out["off"]["txns_per_sec"],
+                cells_out["off"]["p95_us"],
+                cells_out["on"]["txns_per_sec"],
+                cells_out["on"]["p95_us"],
+                cells_out["off"]["violations"] + cells_out["on"]["violations"],
+            ])
+
+    with open(OUT_FILE, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "experiment": "workloads",
+                "quick": quick,
+                "seeds": list(seeds),
+                "ops_per_run": ops,
+                "group_epoch": dict(GROUP_MODES)["on"],
+                "probes": snapshot,
+            },
+            fh, indent=2, sort_keys=True,
+        )
+        fh.write("\n")
+    return Report(
+        "workloads",
+        "Workload suite: mix x scheme x group commit",
+        tables=[
+            Table(
+                ["mix", "scheme", "txns/s (solo)", "p95 us (solo)",
+                 "txns/s (group)", "p95 us (group)", "violations"],
+                rows,
+            )
+        ],
+        notes=[
+            f"Tuna profile; {len(seeds)} seed(s) x {ops} ops per run; "
+            "E = eager, LS = UH+LS+Diff, CS = UH+CS+Diff.",
+            "Group commit closes the shared epoch every 4 transactions.",
+            "Violations must be 0: every cell runs fold-model read checks,",
+            "page-accounting integrity, and a post-run recovery check.",
+            f"Snapshot written to {OUT_FILE}.",
+        ],
+    )

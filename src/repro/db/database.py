@@ -19,8 +19,9 @@ import contextlib
 from dataclasses import dataclass
 
 from repro.db.btree import BTree
+from repro.db.index import IndexTree, index_key, iter_entries
 from repro.db.pager import Pager
-from repro.db.record import decode_row, encode_row
+from repro.db.record import decode_row, encode_row, encode_value
 from repro.db.sql import ast_nodes as ast
 from repro.db.sql.executor import Executor
 from repro.db.sql.parser import parse
@@ -44,6 +45,17 @@ class TableInfo:
     root: int
     columns: tuple[ast.ColumnDef, ...]
     key_index: int | None  # None: hidden auto rowid
+
+
+@dataclass(frozen=True)
+class IndexInfo:
+    """Catalog entry for one secondary index."""
+
+    index_id: int
+    name: str
+    root: int
+    table: str
+    column: str
 
 
 class Database:
@@ -93,6 +105,7 @@ class Database:
         #: raised.  With no handler installed contention fails fast.
         self.busy_handler = None
         self._tables_cache: dict[str, TableInfo] = {}
+        self._indexes_cache: dict[str, IndexInfo] = {}
         self._tables_cookie = -1
 
     # ------------------------------------------------------------------
@@ -345,28 +358,46 @@ class Database:
             return tree
         return BTree(self.pager, root)
 
-    def _load_tables(self) -> dict[str, TableInfo]:
+    def _load_catalog(self) -> tuple[dict[str, TableInfo], dict[str, IndexInfo]]:
+        """Decode the catalog into table and index entries.
+
+        Both kinds share the catalog tree; a row's field count
+        discriminates them (4 fields = table, 5 = index)."""
         cookie = self.pager.schema_cookie
         if cookie == self._tables_cookie:
-            return self._tables_cache
+            return self._tables_cache, self._indexes_cache
         tables: dict[str, TableInfo] = {}
+        indexes: dict[str, IndexInfo] = {}
         if self.pager.catalog_root != 0:
             catalog = BTree(self.pager, self.pager.catalog_root)
-            for table_id, payload in catalog.scan():
+            for entry_id, payload in catalog.scan():
                 try:
-                    name, root, columns_spec, key_index = decode_row(payload)
-                    columns = _decode_columns(columns_spec)
+                    fields = decode_row(payload)
+                    if len(fields) == 4:
+                        name, root, columns_spec, key_index = fields
+                        tables[name] = TableInfo(
+                            entry_id, name, root,
+                            _decode_columns(columns_spec),
+                            key_index if key_index >= 0 else None,
+                        )
+                    elif len(fields) == 5:
+                        name, root, table_name, column, _marker = fields
+                        indexes[name] = IndexInfo(
+                            entry_id, name, root, table_name, column
+                        )
+                    else:
+                        raise DatabaseError(f"{len(fields)} catalog fields")
                 except Exception as exc:
                     raise DatabaseError(
-                        f"corrupt catalog entry {table_id}"
+                        f"corrupt catalog entry {entry_id}"
                     ) from exc
-                tables[name] = TableInfo(
-                    table_id, name, root, columns,
-                    key_index if key_index >= 0 else None,
-                )
         self._tables_cache = tables
+        self._indexes_cache = indexes
         self._tables_cookie = cookie
-        return tables
+        return tables, indexes
+
+    def _load_tables(self) -> dict[str, TableInfo]:
+        return self._load_catalog()[0]
 
     def table(self, name: str) -> TableInfo:
         """Catalog entry for ``name``; raises :class:`TableError`."""
@@ -389,7 +420,7 @@ class Database:
 
     def create_table(self, name: str, columns: tuple[ast.ColumnDef, ...]) -> None:
         """Create a table (must run inside a transaction)."""
-        if self.table_exists(name):
+        if self.table_exists(name) or self.index_exists(name):
             raise TableError(f"table {name} already exists")
         primaries = [i for i, c in enumerate(columns) if c.primary_key]
         if len(primaries) > 1:
@@ -407,11 +438,91 @@ class Database:
         catalog.insert(table_id, payload)
 
     def drop_table(self, name: str) -> None:
-        """Drop a table and free its pages (overflow chains included)."""
+        """Drop a table and free its pages (overflow chains included).
+        Its secondary indexes are dropped with it, as in SQLite."""
         info = self.table(name)
-        self.table_tree(info).free_all()
         catalog = self._catalog_tree()
+        for index in self.indexes_on(name):
+            IndexTree(self.pager, index.root).free_all()
+            catalog.delete(index.index_id)
+        self.table_tree(info).free_all()
         catalog.delete(info.table_id)
+        self.pager.schema_cookie = self.pager.schema_cookie + 1
+
+    # ------------------------------------------------------------------
+    # secondary indexes
+    # ------------------------------------------------------------------
+
+    def index(self, name: str) -> IndexInfo:
+        """Catalog entry for index ``name``; raises :class:`TableError`."""
+        indexes = self._load_catalog()[1]
+        if name not in indexes:
+            raise TableError(f"no such index: {name}")
+        return indexes[name]
+
+    def index_exists(self, name: str) -> bool:
+        """Whether index ``name`` is in the catalog."""
+        return name in self._load_catalog()[1]
+
+    def index_names(self) -> list[str]:
+        """All index names, sorted."""
+        return sorted(self._load_catalog()[1])
+
+    def indexes_on(self, table_name: str) -> list[IndexInfo]:
+        """The indexes maintained on ``table_name``, sorted by name (a
+        deterministic order so every WAL backend mutates index pages in
+        the same sequence)."""
+        indexes = self._load_catalog()[1]
+        return sorted(
+            (i for i in indexes.values() if i.table == table_name),
+            key=lambda i: i.name,
+        )
+
+    def table_and_indexes(
+        self, name: str
+    ) -> tuple[TableInfo, list[IndexInfo]]:
+        """``(table(name), indexes_on(name))`` off a single catalog read.
+
+        Statement execution uses this so a write costs exactly one
+        schema-cookie page visit whether or not any index exists."""
+        tables, indexes = self._load_catalog()
+        if name not in tables:
+            raise TableError(f"no such table: {name}")
+        on = sorted(
+            (i for i in indexes.values() if i.table == name),
+            key=lambda i: i.name,
+        )
+        return tables[name], on
+
+    def index_tree(self, info: IndexInfo) -> IndexTree:
+        """The B-tree holding an index's entries."""
+        return IndexTree(self.pager, info.root)
+
+    def create_index(self, name: str, table_name: str, column: str) -> None:
+        """Create a secondary index and backfill it from the table."""
+        if self.index_exists(name) or self.table_exists(name):
+            raise TableError(f"index {name} already exists")
+        info = self.table(table_name)  # TableError when the table is missing
+        names = [c.name for c in info.columns]
+        if column not in names:
+            raise SqlError(f"no such column: {column}")
+        col = names.index(column)
+        catalog = self._catalog_tree()
+        entry_id = self.pager.schema_cookie + 1
+        self.pager.schema_cookie = entry_id
+        itree = IndexTree.create(self.pager)
+        for rowid, payload in self.table_tree(info).scan():
+            itree.add(decode_row(payload)[col], rowid)
+        catalog.insert(
+            entry_id, encode_row((name, itree.root, table_name, column, 1))
+        )
+
+    def drop_index(self, name: str) -> None:
+        """Drop an index and free its pages (overflow chains included)."""
+        info = self.index(name)
+        IndexTree(self.pager, info.root).free_all()
+        catalog = self._catalog_tree()
+        catalog.delete(info.index_id)
         self.pager.schema_cookie = self.pager.schema_cookie + 1
 
     def next_rowid(self, info: TableInfo) -> int:
@@ -453,6 +564,9 @@ class Database:
         for name in self.table_names():
             tree = self.table_tree(self.table(name))
             out[name] = [(k, bytes(p)) for k, p in tree.scan()]
+        for name in self.index_names():
+            tree = self.index_tree(self.index(name)).tree
+            out[f"index:{name}"] = [(k, bytes(p)) for k, p in tree.scan()]
         return out
 
     def schema_signature(self) -> list[tuple]:
@@ -470,6 +584,9 @@ class Database:
                     ),
                 )
             )
+        for name in self.index_names():
+            info = self.index(name)
+            out.append(("index", name, info.table, info.column))
         return out
 
     def check_integrity(self) -> None:
@@ -500,6 +617,12 @@ class Database:
                 tree.check_invariants()
                 for pno in tree.pages():
                     claim(pno, f"table {name}")
+            for name in self.index_names():
+                itree = self.index_tree(self.index(name))
+                itree.check_invariants()
+                for pno in itree.pages():
+                    claim(pno, f"index {name}")
+                self._check_index_agreement(name)
             for pno in self.pager.free_pages():
                 claim(pno, "freelist")
         except PageError as exc:
@@ -507,6 +630,31 @@ class Database:
         missing = set(range(1, self.pager.n_pages + 1)) - set(claims)
         if missing:
             raise DatabaseError(f"leaked pages (unclaimed): {sorted(missing)}")
+
+    def _check_index_agreement(self, name: str) -> None:
+        """A secondary index must agree row-for-row with a full scan of
+        its table: no phantom entries, no missing entries, every entry
+        filed under the value's own monotone key."""
+        info = self.index(name)
+        table = self.table(info.table)
+        col = [c.name for c in table.columns].index(info.column)
+        from_table = sorted(
+            (index_key(values[col]), encode_value(values[col]), rowid)
+            for rowid, values in (
+                (k, decode_row(p)) for k, p in self.table_tree(table).scan()
+            )
+        )
+        itree = self.index_tree(info)
+        from_index = []
+        for key, payload in itree.tree.scan():
+            for value, rowid in iter_entries(payload):
+                from_index.append((key, encode_value(value), rowid))
+        from_index.sort()
+        if from_table != from_index:
+            raise DatabaseError(
+                f"index {name} disagrees with table {info.table}: "
+                f"{len(from_index)} entries vs {len(from_table)} rows"
+            )
 
 
 def _encode_columns(columns: tuple[ast.ColumnDef, ...]) -> str:

@@ -1,0 +1,193 @@
+"""Secondary indexes: order-preserving value keys over the shared B-tree.
+
+An index is an ordinary :class:`~repro.db.btree.BTree` through the same
+pager as its table, so index pages ride the WAL/recovery/salvage
+machinery for free.  The B-tree keys are 64-bit integers, so indexed
+values are mapped onto a *monotone* (order-preserving, non-strict)
+64-bit key:
+
+* the top two bits carry the SQLite storage-class rank
+  (NULL < numeric < TEXT < BLOB), matching ``_cmp_values``;
+* numerics use the classic ordered-double bit trick (sign-flipped IEEE
+  bits compare like the float they encode);
+* TEXT/BLOB use their first seven bytes, big-endian (bytewise prefix
+  comparison is monotone over the full string order).
+
+The mapping is deliberately lossy: distinct values may collide on one
+key (long strings sharing a prefix, huge ints rounding to the same
+double).  That is fine because the key is only used to *narrow* scans —
+the planner always re-applies the full WHERE predicate to every
+candidate row, so a superset of candidates is always correct.
+
+Each B-tree payload holds every entry colliding on the key: a sorted
+concatenation of ``encode_value(value) + <q rowid`` records.  Sorting by
+raw entry bytes keeps the payload a deterministic function of the entry
+*set*, which the scheme-equivalence oracle relies on (bit-for-bit raw
+agreement across WAL backends).  Hot keys grow their payload past the
+inline limit and spill into overflow chains like any fat table row.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.db.btree import BTree
+from repro.db.pager import Pager
+from repro.db.record import Value, decode_value, encode_value
+from repro.errors import DatabaseError
+
+_ROWID = struct.Struct("<q")
+_DOUBLE = struct.Struct("<d")
+_U64 = struct.Struct("<Q")
+
+_RANK_NULL, _RANK_NUMERIC, _RANK_TEXT, _RANK_BLOB = 0, 1, 2, 3
+_BODY_BITS = 62
+_SIGN_FLIP = 1 << 63
+
+
+def index_key(value: Value) -> int:
+    """Monotone signed-64 key for an indexed value.
+
+    ``v1 <= v2`` under SQLite ordering implies
+    ``index_key(v1) <= index_key(v2)``; equal values always map to equal
+    keys (int 2 and float 2.0 compare equal and share a key).
+    """
+    if value is None:
+        rank, body = _RANK_NULL, 0
+    elif isinstance(value, (bool, int, float)):
+        bits = _U64.unpack(_DOUBLE.pack(float(value)))[0]
+        # Ordered-double: flip all bits for negatives, just the sign bit
+        # for non-negatives; the result compares unsigned like the float.
+        if bits & _SIGN_FLIP:
+            bits ^= 0xFFFF_FFFF_FFFF_FFFF
+        else:
+            bits |= _SIGN_FLIP
+        rank, body = _RANK_NUMERIC, bits >> (64 - _BODY_BITS)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        rank, body = _RANK_TEXT, int.from_bytes(raw[:7].ljust(7, b"\0"), "big")
+    elif isinstance(value, bytes):
+        rank, body = _RANK_BLOB, int.from_bytes(value[:7].ljust(7, b"\0"), "big")
+    else:
+        raise DatabaseError(f"cannot index value type {type(value).__name__}")
+    return ((rank << _BODY_BITS) | body) - (1 << 63)
+
+
+def _entry(value: Value, rowid: int) -> bytes:
+    return encode_value(value) + _ROWID.pack(rowid)
+
+
+def iter_entries(payload: bytes):
+    """Yield (value, rowid) pairs out of one key's payload."""
+    offset = 0
+    while offset < len(payload):
+        value, offset = decode_value(payload, offset)
+        yield value, _ROWID.unpack_from(payload, offset)[0]
+        offset += _ROWID.size
+
+
+def _unpack_entries(payload: bytes) -> list[bytes]:
+    """Split a key's payload back into its raw entry records."""
+    entries = []
+    offset = 0
+    while offset < len(payload):
+        start = offset
+        _value, offset = decode_value(payload, offset)
+        offset += _ROWID.size
+        entries.append(bytes(payload[start:offset]))
+    return entries
+
+
+class IndexTree:
+    """One secondary index: value entries hung off monotone keys."""
+
+    def __init__(self, pager: Pager, root: int) -> None:
+        self.pager = pager
+        self.tree = BTree(pager, root)
+
+    @classmethod
+    def create(cls, pager: Pager) -> "IndexTree":
+        return cls(pager, BTree.create(pager).root)
+
+    @property
+    def root(self) -> int:
+        return self.tree.root
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def add(self, value: Value, rowid: int) -> None:
+        """Record that the row at ``rowid`` holds ``value``."""
+        key = index_key(value)
+        entry = _entry(value, rowid)
+        payload = self.tree.get(key)
+        if payload is None:
+            self.tree.insert(key, entry)
+            return
+        entries = _unpack_entries(payload)
+        entries.append(entry)
+        entries.sort()
+        self.tree.update(key, b"".join(entries))
+
+    def remove(self, value: Value, rowid: int) -> None:
+        """Drop the entry for (``value``, ``rowid``); its absence is
+        index corruption and raises :class:`DatabaseError`."""
+        key = index_key(value)
+        payload = self.tree.get(key)
+        entry = _entry(value, rowid)
+        if payload is None:
+            raise DatabaseError(
+                f"index entry for rowid {rowid} missing (key {key})"
+            )
+        entries = _unpack_entries(payload)
+        try:
+            entries.remove(entry)
+        except ValueError:
+            raise DatabaseError(
+                f"index entry for rowid {rowid} missing (key {key})"
+            ) from None
+        if entries:
+            self.tree.update(key, b"".join(entries))
+        else:
+            self.tree.delete(key)
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+
+    def rowids(self, lo: int | None = None, hi: int | None = None):
+        """Yield candidate rowids for index keys in ``[lo, hi]``, in
+        (key, entry-bytes) order — a deterministic superset of the rows
+        matching whatever predicate produced the bounds."""
+        for _key, payload in self.tree.scan(lo, hi):
+            offset = 0
+            while offset < len(payload):
+                _value, offset = decode_value(payload, offset)
+                yield _ROWID.unpack_from(payload, offset)[0]
+                offset += _ROWID.size
+
+    def entries(self):
+        """Yield every (value, rowid) pair — consistency checks compare
+        this against a full table scan."""
+        for _key, payload in self.tree.scan():
+            offset = 0
+            while offset < len(payload):
+                value, offset = decode_value(payload, offset)
+                yield value, _ROWID.unpack_from(payload, offset)[0]
+                offset += _ROWID.size
+
+    # ------------------------------------------------------------------
+    # lifecycle / accounting
+    # ------------------------------------------------------------------
+
+    def free_all(self) -> None:
+        """Release every page (DROP INDEX / DROP TABLE cascade)."""
+        self.tree.free_all()
+
+    def pages(self):
+        """Every page the index owns, overflow chains included."""
+        yield from self.tree.pages()
+
+    def check_invariants(self) -> None:
+        self.tree.check_invariants()

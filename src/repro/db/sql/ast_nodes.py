@@ -87,6 +87,25 @@ class DropTable(Statement):
 
 
 @dataclass(frozen=True)
+class CreateIndex(Statement):
+    """CREATE INDEX name ON table (column) — single-column secondary
+    index (SQLite's multi-column form is out of scope)."""
+
+    name: str
+    table: str
+    column: str
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropIndex(Statement):
+    """DROP INDEX [IF EXISTS] name."""
+
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
 class Insert(Statement):
     """INSERT INTO name [(cols)] VALUES (...), (...)."""
 

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from repro.db.record import decode_row, encode_row, validate_type
+from repro.db.index import index_key
+from repro.db.record import decode_row, encode_row, encode_value, validate_type
 from repro.db.sql import ast_nodes as ast
-from repro.errors import KeyNotFound, SqlError
+from repro.errors import DatabaseError, KeyNotFound, SqlError
 
 _MIN_KEY = -(2**63)
 _MAX_KEY = 2**63 - 1
@@ -32,6 +33,16 @@ class Executor:
         if isinstance(stmt, ast.DropTable):
             self.db.drop_table(stmt.name)
             return 0
+        if isinstance(stmt, ast.CreateIndex):
+            if stmt.if_not_exists and self.db.index_exists(stmt.name):
+                return 0
+            self.db.create_index(stmt.name, stmt.table, stmt.column)
+            return 0
+        if isinstance(stmt, ast.DropIndex):
+            if stmt.if_exists and not self.db.index_exists(stmt.name):
+                return 0
+            self.db.drop_index(stmt.name)
+            return 0
         if isinstance(stmt, ast.Insert):
             return self._insert(stmt, params)
         if isinstance(stmt, ast.Select):
@@ -53,7 +64,7 @@ class Executor:
     # ------------------------------------------------------------------
 
     def _insert(self, stmt: ast.Insert, params: tuple) -> int:
-        table = self.db.table(stmt.table)
+        table, indexes = self.db.table_and_indexes(stmt.table)
         names = [c.name for c in table.columns]
         count = 0
         for row_exprs in stmt.rows:
@@ -76,11 +87,30 @@ class Executor:
             key = self._key_for_insert(table, values)
             if table.key_index is not None:
                 values[table.key_index] = key
-            self.db.table_tree(table).insert(
-                key, encode_row(values), replace=stmt.or_replace
-            )
+            tree = self.db.table_tree(table)
+            # INSERT OR REPLACE may silently overwrite: fetch the old
+            # row first so the victim's index entries can be retired.
+            old = tree.get(key) if (indexes and stmt.or_replace) else None
+            tree.insert(key, encode_row(values), replace=stmt.or_replace)
+            if old is not None:
+                self._index_remove_row(table, indexes, key, decode_row(old))
+            self._index_add_row(table, indexes, key, values)
             count += 1
         return count
+
+    def _index_add_row(self, table, indexes, key: int, values) -> None:
+        names = [c.name for c in table.columns]
+        for info in indexes:
+            self.db.index_tree(info).add(
+                values[names.index(info.column)], key
+            )
+
+    def _index_remove_row(self, table, indexes, key: int, values) -> None:
+        names = [c.name for c in table.columns]
+        for info in indexes:
+            self.db.index_tree(info).remove(
+                values[names.index(info.column)], key
+            )
 
     def _key_for_insert(self, table, values: list) -> int:
         if table.key_index is None:
@@ -98,10 +128,10 @@ class Executor:
     # ------------------------------------------------------------------
 
     def _select(self, stmt: ast.Select, params: tuple) -> list[tuple]:
-        table = self.db.table(stmt.table)
+        table, indexes = self.db.table_and_indexes(stmt.table)
         names = [c.name for c in table.columns]
         _validate_expr(stmt.where, names, params)
-        rows = list(self._matching_rows(table, stmt.where, params))
+        rows = list(self._matching_rows(table, indexes, stmt.where, params))
         if stmt.aggregate is not None:
             return [self._aggregate(stmt.aggregate, names, rows)]
         if stmt.order_by is not None:
@@ -158,7 +188,7 @@ class Executor:
     # ------------------------------------------------------------------
 
     def _update(self, stmt: ast.Update, params: tuple) -> int:
-        table = self.db.table(stmt.table)
+        table, indexes = self.db.table_and_indexes(stmt.table)
         names = [c.name for c in table.columns]
         for name, expr in stmt.assignments:
             if name not in names:
@@ -166,7 +196,10 @@ class Executor:
             _validate_expr(expr, names, params)
         _validate_expr(stmt.where, names, params)
         tree = self.db.table_tree(table)
-        matches = list(self._matching_rows(table, stmt.where, params))
+        matches = list(self._matching_rows(table, indexes, stmt.where, params))
+        # Key order keeps the mutation sequence identical whether the
+        # matches came off a table scan or a secondary-index probe.
+        matches.sort(key=lambda kv: kv[0])
         count = 0
         for key, values in matches:
             row = dict(zip(names, values))
@@ -185,29 +218,50 @@ class Executor:
                 tree.insert(new_key, encode_row(new_values))
             else:
                 tree.update(key, encode_row(new_values))
+            for info in indexes:
+                idx = names.index(info.column)
+                old_v, new_v = values[idx], new_values[idx]
+                if new_key == key and encode_value(old_v) == encode_value(new_v):
+                    continue  # entry bytes unchanged, nothing to refile
+                itree = self.db.index_tree(info)
+                itree.remove(old_v, key)
+                itree.add(new_v, new_key)
             count += 1
         return count
 
     def _delete(self, stmt: ast.Delete, params: tuple) -> int:
-        table = self.db.table(stmt.table)
+        table, indexes = self.db.table_and_indexes(stmt.table)
         _validate_expr(
             stmt.where, [c.name for c in table.columns], params
         )
         tree = self.db.table_tree(table)
-        keys = [key for key, _ in self._matching_rows(table, stmt.where, params)]
-        for key in keys:
+        matches = list(self._matching_rows(table, indexes, stmt.where, params))
+        matches.sort(key=lambda kv: kv[0])
+        for key, values in matches:
             tree.delete(key)
-        return len(keys)
+            self._index_remove_row(table, indexes, key, values)
+        return len(matches)
 
     # ------------------------------------------------------------------
     # row access with key-range planning
     # ------------------------------------------------------------------
 
-    def _matching_rows(self, table, where: ast.Expr | None, params: tuple):
+    def _matching_rows(
+        self, table, indexes, where: ast.Expr | None, params: tuple
+    ):
         """Yield (key, decoded_row) for rows matching ``where``."""
         names = [c.name for c in table.columns]
         tree = self.db.table_tree(table)
         lo, hi, residual = self._plan_key_range(table, where, params)
+        if lo is None and hi is None and where is not None:
+            probe = self._plan_index_probe(table, indexes, where, params)
+            if probe is not None:
+                for key, values in probe:
+                    if _truthy(
+                        _eval(where, dict(zip(names, values)), params)
+                    ):
+                        yield key, values
+                return
         for key, payload in tree.scan(lo, hi):
             values = decode_row(payload)
             if residual is None or _truthy(
@@ -243,6 +297,65 @@ class Executor:
                 hi = adjusted if hi is None else min(hi, adjusted)
         return lo, hi, where
 
+    # ------------------------------------------------------------------
+    # secondary-index access path
+    # ------------------------------------------------------------------
+
+    def _plan_index_probe(
+        self, table, indexes, where: ast.Expr, params: tuple
+    ):
+        """Candidate-row generator off a secondary index, or None.
+
+        Picks the indexed column whose AND-ed ``col <op> constant``
+        conjuncts narrow the index-key range the most.  The bounds are a
+        *superset* guarantee, never a filter: ``index_key`` is lossy, and
+        storage-class ordering means e.g. ``col > 5`` is true for every
+        TEXT value, so ``>``/``>=`` leave the upper bound open and
+        ``<``/``<=`` the lower one.  The caller re-applies the whole
+        WHERE predicate to every candidate.
+        """
+        if not indexes:
+            return None
+        by_column = {}
+        for info in indexes:
+            by_column.setdefault(info.column, info)
+        bounds: dict[str, list] = {}
+        for conj in _conjuncts(where):
+            hit = _index_bound(conj, by_column, params)
+            if hit is None:
+                continue
+            column, op, value = hit
+            lo, hi = bounds.setdefault(column, [None, None])
+            key = index_key(value)
+            if op == "=":
+                lo = key if lo is None else max(lo, key)
+                hi = key if hi is None else min(hi, key)
+            elif op in (">", ">="):
+                lo = key if lo is None else max(lo, key)
+            else:  # "<", "<=" — inclusive: equal keys may hide smaller values
+                hi = key if hi is None else min(hi, key)
+            bounds[column] = [lo, hi]
+        if not bounds:
+            return None
+        column = max(
+            sorted(bounds),
+            key=lambda c: (bounds[c][0] is not None) + (bounds[c][1] is not None),
+        )
+        info = by_column[column]
+        lo, hi = bounds[column]
+
+        def rows():
+            tree = self.db.table_tree(table)
+            for rowid in self.db.index_tree(info).rowids(lo, hi):
+                payload = tree.get(rowid)
+                if payload is None:
+                    raise DatabaseError(
+                        f"index {info.name} references missing row {rowid}"
+                    )
+                yield rowid, decode_row(payload)
+
+        return rows()
+
 
 def _conjuncts(expr: ast.Expr) -> list[ast.Expr]:
     if isinstance(expr, ast.BinOp) and expr.op == "AND":
@@ -270,6 +383,30 @@ def _key_bound(expr: ast.Expr, key_name: str, params: tuple):
     if not isinstance(value, int):
         return None
     return op, value
+
+
+def _index_bound(expr: ast.Expr, by_column: dict, params: tuple):
+    """If ``expr`` is ``col <op> constant`` on an indexed column (either
+    side), return (column, normalized_op, value), else None.  NULL
+    constants plan nothing: ``col <op> NULL`` is never true, and the
+    residual predicate rejects every row anyway."""
+    if not isinstance(expr, ast.BinOp):
+        return None
+    flip = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "="}
+    op, left, right = expr.op, expr.left, expr.right
+    if isinstance(right, ast.Column) and right.name in by_column:
+        left, right = right, left
+        op = flip.get(op)
+    if op not in ("=", "<", ">", "<=", ">="):
+        return None
+    if not (isinstance(left, ast.Column) and left.name in by_column):
+        return None
+    if not _is_constant(right):
+        return None
+    value = _eval(right, None, params)
+    if value is None:
+        return None
+    return left.name, op, value
 
 
 def _is_constant(expr: ast.Expr) -> bool:

@@ -10,10 +10,10 @@ from repro.errors import SqlError
 # identifiers); the parser matches them contextually.
 KEYWORDS = {
     "AND", "ASC", "BEGIN", "BETWEEN", "BY", "CHECKPOINT", "COMMIT", "CREATE",
-    "DELETE", "DESC", "DROP", "EXISTS", "FROM", "IF", "INSERT", "INTO", "IS",
-    "LIMIT", "NOT", "NULL", "OR", "ORDER", "PRIMARY", "REPLACE",
-    "ROLLBACK", "SELECT", "SET", "TABLE", "TRANSACTION", "UPDATE", "VALUES",
-    "WHERE",
+    "DELETE", "DESC", "DROP", "EXISTS", "FROM", "IF", "INDEX", "INSERT",
+    "INTO", "IS", "LIMIT", "NOT", "NULL", "ON", "OR", "ORDER", "PRIMARY",
+    "REPLACE", "ROLLBACK", "SELECT", "SET", "TABLE", "TRANSACTION", "UPDATE",
+    "VALUES", "WHERE",
 }
 
 _PUNCT = {

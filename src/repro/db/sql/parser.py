@@ -84,8 +84,8 @@ class _Parser:
         if token.kind != "keyword":
             raise SqlError(f"statement must start with a keyword, got {token.value!r}")
         dispatch = {
-            "CREATE": self._create_table,
-            "DROP": self._drop_table,
+            "CREATE": self._create,
+            "DROP": self._drop,
             "INSERT": self._insert,
             "SELECT": self._select,
             "UPDATE": self._update,
@@ -112,8 +112,10 @@ class _Parser:
         self.accept("keyword", "TRANSACTION")
         return ast.Begin()
 
-    def _create_table(self) -> ast.CreateTable:
+    def _create(self) -> ast.Statement:
         self.expect("keyword", "CREATE")
+        if self.accept("keyword", "INDEX"):
+            return self._create_index()
         self.expect("keyword", "TABLE")
         if_not_exists = False
         if self.accept("keyword", "IF"):
@@ -142,8 +144,30 @@ class _Parser:
         self.expect("punct", ")")
         return ast.CreateTable(name, tuple(columns), if_not_exists)
 
-    def _drop_table(self) -> ast.DropTable:
+    def _create_index(self) -> ast.CreateIndex:
+        """CREATE INDEX [IF NOT EXISTS] name ON table (column) — the
+        leading CREATE INDEX keywords are already consumed."""
+        if_not_exists = False
+        if self.accept("keyword", "IF"):
+            self.expect("keyword", "NOT")
+            self.expect("keyword", "EXISTS")
+            if_not_exists = True
+        name = self.expect("ident").value
+        self.expect("keyword", "ON")
+        table = self.expect("ident").value
+        self.expect("punct", "(")
+        column = self.expect("ident").value
+        self.expect("punct", ")")
+        return ast.CreateIndex(name, table, column, if_not_exists)
+
+    def _drop(self) -> ast.Statement:
         self.expect("keyword", "DROP")
+        if self.accept("keyword", "INDEX"):
+            if_exists = False
+            if self.accept("keyword", "IF"):
+                self.expect("keyword", "EXISTS")
+                if_exists = True
+            return ast.DropIndex(self.expect("ident").value, if_exists)
         self.expect("keyword", "TABLE")
         return ast.DropTable(self.expect("ident").value)
 

@@ -137,6 +137,7 @@ class _TableModel:
     cols: tuple[tuple[str, str], ...]  # (name, type), col 0 is the pk
     live: set = field(default_factory=set)
     fresh: int = _FRESH_BASE
+    indexes: dict = field(default_factory=dict)  # index name -> column
 
     def take_fresh(self) -> int:
         key = self.fresh
@@ -154,6 +155,7 @@ class StreamGenerator:
         self.in_txn = False
         self._snapshot: dict[str, _TableModel] | None = None
         self._n_tables = 0
+        self._n_indexes = 0
 
     # ------------------------------------------------------------------
     # stream assembly
@@ -183,6 +185,8 @@ class StreamGenerator:
             return self._drop_table()
         table = rng.choice(sorted(self.tables))
         model = self.tables[table]
+        if roll < 0.22:
+            return self._index_ddl(model)
         roll = rng.random()
         if roll < 0.32:
             return self._insert(model)
@@ -211,9 +215,28 @@ class StreamGenerator:
         return Stmt(f"CREATE TABLE {name} ({defs})", kind="ddl")
 
     def _drop_table(self) -> Stmt:
+        # SQLite drops a table's indexes with it; the model does too
+        # (they live inside the table's model entry).
         name = self.rng.choice(sorted(self.tables))
         del self.tables[name]
         return Stmt(f"DROP TABLE {name}", kind="ddl")
+
+    def _index_ddl(self, model: _TableModel) -> Stmt:
+        """CREATE INDEX on a random column, or DROP an existing one.
+        Index-backed scans stay divergence-safe by construction: the
+        planner only narrows, so results are compared like any SELECT."""
+        rng = self.rng
+        if model.indexes and rng.random() < 0.35:
+            name = rng.choice(sorted(model.indexes))
+            del model.indexes[name]
+            return Stmt(f"DROP INDEX {name}", kind="ddl")
+        cname, _ctype = rng.choice(model.cols)
+        name = f"i{self._n_indexes}"
+        self._n_indexes += 1
+        model.indexes[name] = cname
+        return Stmt(
+            f"CREATE INDEX {name} ON {model.name} ({cname})", kind="ddl"
+        )
 
     def _txn_control(self) -> Stmt:
         if not self.in_txn:
@@ -228,7 +251,9 @@ class StreamGenerator:
             # Deep-copy the model so ROLLBACK can restore it; ``fresh``
             # stays monotonic via max() on restore.
             self._snapshot = {
-                n: _TableModel(m.name, m.cols, set(m.live), m.fresh)
+                n: _TableModel(
+                    m.name, m.cols, set(m.live), m.fresh, dict(m.indexes)
+                )
                 for n, m in self.tables.items()
             }
         elif word == "COMMIT":
@@ -414,7 +439,14 @@ class StreamGenerator:
                 params.append(key)
                 return f"k {op} ?"
             return f"k {op} {key}"
-        cname, ctype = rng.choice(model.cols)
+        # Bias toward indexed columns so the secondary-index access path
+        # (and its superset-of-candidates discipline) gets real coverage.
+        indexed = sorted(set(model.indexes.values()))
+        if indexed and rng.random() < 0.5:
+            cname = rng.choice(indexed)
+            ctype = dict(model.cols)[cname]
+        else:
+            cname, ctype = rng.choice(model.cols)
         if roll < 0.5:
             return f"{cname} IS {'NOT ' if rng.random() < 0.5 else ''}NULL"
         if roll < 0.56:
@@ -487,7 +519,25 @@ class StreamGenerator:
 
     def _deliberate_error(self) -> Stmt:
         rng = self.rng
-        choice = rng.randrange(7)
+        choice = rng.randrange(9)
+        if choice == 7:
+            # CREATE INDEX on a missing table, or a duplicate index name
+            if rng.random() < 0.5 and any(
+                m.indexes for m in self.tables.values()
+            ):
+                name = rng.choice(
+                    sorted(n for n, m in self.tables.items() if m.indexes)
+                )
+                model = self.tables[name]
+                dup = rng.choice(sorted(model.indexes))
+                return Stmt(
+                    f"CREATE INDEX {dup} ON {name} (k)", kind="ddl"
+                )
+            return Stmt(
+                "CREATE INDEX ix_err ON no_such_table (k)", kind="ddl"
+            )
+        if choice == 8:
+            return Stmt("DROP INDEX no_such_index", kind="ddl")
         if choice == 0:
             return Stmt("SELECT * FROM no_such_table", kind="select")
         if choice == 1:

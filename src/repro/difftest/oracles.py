@@ -132,7 +132,11 @@ def classify_sqlite(exc: sqlite3.Error) -> str:
     if isinstance(exc, sqlite3.ProgrammingError):
         return "sql"  # e.g. wrong number of bindings
     message = str(exc).lower()
-    if "no such table" in message or "already exists" in message:
+    if (
+        "no such table" in message
+        or "no such index" in message
+        or "already exists" in message
+    ):
         return "schema"
     if "no such column" in message or "syntax error" in message:
         return "sql"

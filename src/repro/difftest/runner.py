@@ -76,7 +76,7 @@ class _SabotagedExecutor(Executor):
     scan — extra rows leak into every SELECT/UPDATE/DELETE whose
     predicate is wider than its key range."""
 
-    def _matching_rows(self, table, where, params):
+    def _matching_rows(self, table, indexes, where, params):
         names = [c.name for c in table.columns]
         tree = self.db.table_tree(table)
         lo, hi, residual = self._plan_key_range(table, where, params)

@@ -89,6 +89,12 @@ class ChaosScenario:
     read_every: int = 2
     #: run the service with the commit coalescer (epoch-batched WAL).
     group_commit: bool = False
+    #: stream generator: "mobi" (the original free-key insert/update/
+    #: delete mix), "ycsb" (zipfian-skewed hot-key read-write mix), or
+    #: "queue" (FIFO enqueue/dequeue — durable-queue delivery under
+    #: chaos).  All emit the same (kind, key, value) op language, so the
+    #: service, fold model, and oracles are workload-agnostic.
+    workload: str = "mobi"
 
 
 @dataclass(frozen=True)
@@ -104,18 +110,93 @@ class ChaosOutcome:
 # ----------------------------------------------------------------------
 
 
-def _session_stream(seed: int, session: int, sessions: int, txns: int, txn_size: int):
+#: Stream generators selectable via ``ChaosScenario.workload``.
+CHAOS_WORKLOADS = ("mobi", "ycsb", "queue")
+
+
+def _ycsb_stream(stream_seed: int, op_count: int, txn_size: int):
+    """Zipfian-skewed mixed stream: most writes land on a few hot keys,
+    the YCSB access pattern the original free-key mix never produces."""
+    from repro.workloads.core import ZipfianSampler, workload_rng
+
+    rng = workload_rng(stream_seed, salt=11)
+    sampler = ZipfianSampler(0)
+    live: list[int] = []
+    next_key = 1
+    ops = []
+    for i in range(op_count):
+        roll = rng.random()
+        if not live or roll < 0.40:
+            key, kind = next_key, "insert"
+            live.append(next_key)
+            next_key += 1
+        elif roll < 0.82:
+            sampler.resize(len(live))
+            key, kind = live[sampler.sample(rng)], "update"
+        else:
+            sampler.resize(len(live))
+            key, kind = live.pop(sampler.sample(rng)), "delete"
+        value = None if kind == "delete" else f"y{i}." + "x" * rng.randint(4, 20)
+        ops.append((kind, key, value))
+    return _group_ops(rng, ops, txn_size)
+
+
+def _queue_stream(stream_seed: int, op_count: int, txn_size: int):
+    """FIFO enqueue/dequeue: inserts with monotone ids, deletes always
+    of the oldest live id — the durable-queue pattern under chaos."""
+    from repro.workloads.core import workload_rng
+
+    rng = workload_rng(stream_seed, salt=13)
+    live: list[int] = []
+    next_id = 1
+    ops = []
+    for i in range(op_count):
+        if not live or rng.random() < 0.55:
+            ops.append(("insert", next_id, f"m{i}." + "x" * rng.randint(4, 16)))
+            live.append(next_id)
+            next_id += 1
+        else:
+            ops.append(("delete", live.pop(0), None))
+    return _group_ops(rng, ops, txn_size)
+
+
+def _group_ops(rng, ops, txn_size: int):
+    txns = []
+    index = 0
+    while index < len(ops):
+        take = rng.randint(1, txn_size)
+        txns.append(tuple(ops[index : index + take]))
+        index += take
+    return tuple(txns)
+
+
+def _session_stream(
+    seed: int,
+    session: int,
+    sessions: int,
+    txns: int,
+    txn_size: int,
+    workload: str = "mobi",
+):
     """One session's txn stream over its own key-space slice.
 
     Keys are remapped to ``k * sessions + session`` so streams never
     collide: each session's insert/update/delete semantics then match a
     per-key last-writer model no matter how commits interleave.
     """
-    raw = generate_txns(
-        (seed * 8191 + session * 127 + 1) & 0x7FFFFFFF,
-        op_count=txns * txn_size,
-        txn_size=txn_size,
-    )
+    stream_seed = (seed * 8191 + session * 127 + 1) & 0x7FFFFFFF
+    if workload == "ycsb":
+        raw = _ycsb_stream(stream_seed, txns * txn_size, txn_size)
+    elif workload == "queue":
+        raw = _queue_stream(stream_seed, txns * txn_size, txn_size)
+    elif workload == "mobi":
+        raw = generate_txns(
+            stream_seed, op_count=txns * txn_size, txn_size=txn_size
+        )
+    else:
+        raise ValueError(
+            f"unknown chaos workload {workload!r}; pick from {CHAOS_WORKLOADS}"
+        )
     remapped = []
     for txn in raw[:txns]:
         remapped.append(
@@ -167,6 +248,7 @@ def make_scenario(
     checkpoint_threshold: int = DEFAULT_CHAOS_THRESHOLD,
     sabotage: bool = False,
     group_commit: bool = False,
+    workload: str = "mobi",
 ) -> ChaosScenario:
     """Build a scenario; crash points are placed by profiling.
 
@@ -180,7 +262,7 @@ def make_scenario(
         raise ValueError(f"unknown scheme {scheme!r}; pick from {sorted(SCHEMES)}")
     per_session = max(1, txns // sessions)
     streams = tuple(
-        _session_stream(seed, s, sessions, per_session, txn_size)
+        _session_stream(seed, s, sessions, per_session, txn_size, workload)
         for s in range(sessions)
     )
     scenario = ChaosScenario(
@@ -192,6 +274,7 @@ def make_scenario(
         checkpoint_threshold=checkpoint_threshold,
         sabotage=sabotage,
         group_commit=group_commit,
+        workload=workload,
     )
     if power_cycles > 0:
         total = _measure_ops(scenario)
@@ -632,6 +715,7 @@ def scenario_to_dict(scenario: ChaosScenario) -> dict:
         "final_power_cycle": scenario.final_power_cycle,
         "read_every": scenario.read_every,
         "group_commit": scenario.group_commit,
+        "workload": scenario.workload,
     }
 
 
@@ -654,6 +738,7 @@ def scenario_from_dict(data: dict) -> ChaosScenario:
         final_power_cycle=data.get("final_power_cycle", True),
         read_every=data.get("read_every", 2),
         group_commit=data.get("group_commit", False),
+        workload=data.get("workload", "mobi"),
     )
 
 
@@ -677,6 +762,7 @@ class ChaosTask:
     checkpoint_threshold: int = DEFAULT_CHAOS_THRESHOLD
     sabotage: bool = False
     group_commit: bool = False
+    workload: str = "mobi"
 
 
 def run_task(task: ChaosTask) -> dict:
@@ -698,6 +784,7 @@ def run_task(task: ChaosTask) -> dict:
         checkpoint_threshold=task.checkpoint_threshold,
         sabotage=task.sabotage,
         group_commit=task.group_commit,
+        workload=task.workload,
     )
     outcome = run_chaos(scenario)
     result = dict(outcome.summary)

@@ -28,6 +28,7 @@ import sys
 
 from repro.bench.harness import parallel_map
 from repro.service.chaos import (
+    CHAOS_WORKLOADS,
     DEFAULT_CHAOS_THRESHOLD,
     ChaosTask,
     run_chaos,
@@ -99,6 +100,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--replay", metavar="TRACE", help="replay one recorded trace and exit"
+    )
+    parser.add_argument(
+        "--workload",
+        default="mobi",
+        choices=list(CHAOS_WORKLOADS),
+        help="session stream generator: 'mobi' (free-key insert/update/"
+        "delete mix), 'ycsb' (zipfian-skewed hot-key read-write mix), or "
+        "'queue' (FIFO enqueue/dequeue streams)",
     )
     parser.add_argument(
         "--group-commit",
@@ -211,12 +220,14 @@ def main(argv=None) -> int:
             checkpoint_threshold=args.checkpoint_threshold,
             sabotage=args.sabotage,
             group_commit=args.group_commit,
+            workload=args.workload,
         )
         for seed in range(args.seeds)
     ]
     print(
         f"chaos: {args.seeds} seed(s) x {args.sessions} session(s) x "
-        f"{args.txns} txns, scheme={args.scheme}, faults={','.join(faults)}, "
+        f"{args.txns} txns, workload={args.workload}, scheme={args.scheme}, "
+        f"faults={','.join(faults)}, "
         f"storms={args.storms}, power_cycles={args.power_cycles}, "
         f"jobs={args.jobs}"
         + (", GROUP-COMMIT" if args.group_commit else "")

@@ -427,6 +427,13 @@ class Ext4FileSystem:
             key = (ino, len(inode.page_blocks))
             self._page_cache.pop(key, None)
             self._dirty_pages.discard(key)
+        tail = size % self.page_size
+        if size < inode.size and tail and keep_pages <= len(inode.page_blocks):
+            # POSIX: bytes between a shrink point and a later extension
+            # read as zeros — scrub the stale tail of the last kept page.
+            page = self._cached_page(ino, keep_pages - 1)
+            page[tail:] = bytes(self.page_size - tail)
+            self._dirty_pages.add((ino, keep_pages - 1))
         inode.size = size
         inode.mtime = int(self.device.clock.now_ns)
         self._dirty_inodes.add(ino)
@@ -697,6 +704,12 @@ class Ext4FileSystem:
         inode = self._inode(ino)
         while len(inode.page_blocks) <= page_idx:
             inode.page_blocks.append(self._alloc_block())
+            # A recycled block still holds its previous owner's bytes on
+            # the device — a fresh allocation must read (and flush) as
+            # zeros, so seed the cache instead of faulting the page in.
+            idx = len(inode.page_blocks) - 1
+            self._page_cache[(ino, idx)] = bytearray(self.page_size)
+            self._dirty_pages.add((ino, idx))
             self._dirty_inodes.add(ino)
 
     def _cached_page(self, ino: int, page_idx: int) -> bytearray:

@@ -1,0 +1,200 @@
+"""CLI for the workload suite.
+
+Examples::
+
+    # every workload on the default scheme rotation, 4 seeds each
+    python -m repro.workloads run --seeds 4 --jobs 4
+
+    # one YCSB mix under group commit on the checksum scheme
+    python -m repro.workloads run --workload ycsb-a --scheme uh_cs_diff \
+        --group-epoch 4
+
+    # crash-point sweep of the durable queue (exactly-once oracle)
+    python -m repro.workloads torture --workload queue --seeds 2 --stride 3
+
+Exit status: 0 for a clean sweep, 1 when any oracle was violated.  The
+digest line is a SHA-256 over canonical JSON results and is
+bit-identical for any ``--jobs`` value.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+
+from repro.bench.harness import parallel_map
+from repro.torture.driver import ROTATION, SCHEMES
+from repro.workloads.runner import (
+    DEFAULT_WORKLOAD_THRESHOLD,
+    WORKLOADS,
+    RunConfig,
+    run_one,
+)
+from repro.workloads.torture import (
+    DEFAULT_TORTURE_THRESHOLD,
+    SweepTask,
+    run_seed,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="Seeded workload suite (YCSB mixes, time-series, "
+        "durable queue) over the NVWAL database, with fold-model read "
+        "checks, page-accounting integrity, and crash-point sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="execute workloads and check oracles")
+    run_p.add_argument(
+        "--workload",
+        default="all",
+        choices=["all", *WORKLOADS],
+        help="workload name (default: all)",
+    )
+    run_p.add_argument("--seeds", type=int, default=4, help="seeds 0..N-1")
+    run_p.add_argument("--ops", type=int, default=120, help="ops per run")
+    run_p.add_argument(
+        "--scheme",
+        default="rotate",
+        choices=["rotate", *sorted(SCHEMES)],
+        help="NVWAL scheme; 'rotate' cycles %s by seed" % (ROTATION,),
+    )
+    run_p.add_argument(
+        "--group-epoch",
+        type=int,
+        default=0,
+        help="commit through the group-commit epoch, closing it every N "
+        "transactions (0 = per-transaction durability)",
+    )
+    run_p.add_argument(
+        "--checkpoint-threshold",
+        type=int,
+        default=DEFAULT_WORKLOAD_THRESHOLD,
+        help="WAL frames per checkpoint",
+    )
+    run_p.add_argument("--jobs", type=int, default=1, help="parallel workers")
+
+    tort_p = sub.add_parser(
+        "torture", help="crash-point sweeps with per-workload oracles"
+    )
+    tort_p.add_argument(
+        "--workload",
+        default="queue",
+        choices=["all", *WORKLOADS],
+        help="workload to sweep (default: queue)",
+    )
+    tort_p.add_argument("--seeds", type=int, default=2, help="seeds 0..N-1")
+    tort_p.add_argument("--ops", type=int, default=24, help="ops per workload")
+    tort_p.add_argument(
+        "--stride", type=int, default=1, help="crash-point stride"
+    )
+    tort_p.add_argument(
+        "--scheme",
+        default="rotate",
+        choices=["rotate", *sorted(SCHEMES)],
+        help="NVWAL scheme; 'rotate' cycles %s by seed" % (ROTATION,),
+    )
+    tort_p.add_argument(
+        "--checkpoint-threshold",
+        type=int,
+        default=DEFAULT_TORTURE_THRESHOLD,
+        help="WAL frames per checkpoint",
+    )
+    tort_p.add_argument("--jobs", type=int, default=1, help="parallel workers")
+    return parser
+
+
+def _digest(results) -> str:
+    canonical = json.dumps(results, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _scheme_for(arg: str, seed: int) -> str:
+    return ROTATION[seed % len(ROTATION)] if arg == "rotate" else arg
+
+
+def _cmd_run(args) -> int:
+    names = list(WORKLOADS) if args.workload == "all" else [args.workload]
+    tasks = [
+        RunConfig(
+            workload=name,
+            seed=seed,
+            ops=args.ops,
+            scheme=_scheme_for(args.scheme, seed),
+            group_epoch=args.group_epoch,
+            checkpoint_threshold=args.checkpoint_threshold,
+        )
+        for name in names
+        for seed in range(args.seeds)
+    ]
+    print(
+        f"workloads: {len(names)} workload(s) x {args.seeds} seed(s), "
+        f"{args.ops} ops, scheme={args.scheme}, "
+        f"group_epoch={args.group_epoch}, jobs={args.jobs}"
+    )
+    results = parallel_map(run_one, tasks, jobs=args.jobs)
+    bad = 0
+    for r in results:
+        bad += len(r["violations"])
+        print(
+            f"{r['workload']} seed {r['seed']} [{r['scheme']}]: "
+            f"{r['txns']} txn(s), {r['reads_checked']} read(s) checked, "
+            f"{r['txns_per_sec']} txns/s sim, p95 {r['p95_us']} us, "
+            f"{len(r['violations'])} violation(s)"
+        )
+        for violation in r["violations"]:
+            print(f"  {violation}")
+    print(f"result digest: sha256:{_digest(results)}")
+    return 1 if bad else 0
+
+
+def _cmd_torture(args) -> int:
+    names = list(WORKLOADS) if args.workload == "all" else [args.workload]
+    tasks = [
+        SweepTask(
+            workload=name,
+            seed=seed,
+            ops=args.ops,
+            scheme=_scheme_for(args.scheme, seed),
+            stride=args.stride,
+            checkpoint_threshold=args.checkpoint_threshold,
+        )
+        for name in names
+        for seed in range(args.seeds)
+    ]
+    print(
+        f"workload torture: {len(names)} workload(s) x {args.seeds} seed(s), "
+        f"{args.ops} ops, stride={args.stride}, scheme={args.scheme}, "
+        f"jobs={args.jobs}"
+    )
+    results = parallel_map(run_seed, tasks, jobs=args.jobs)
+    failures = 0
+    for r in results:
+        failures += len(r["failures"])
+        print(
+            f"{r['workload']} seed {r['seed']} [{r['scheme']}]: "
+            f"{r['runs']} run(s), {r['crashes']} crash(es), "
+            f"{r['checkpoints']} checkpoint(s), "
+            f"{len(r['failures'])} failure(s)"
+        )
+        for failure in r["failures"][:5]:
+            point = failure["scenario"]["crash_point"]
+            for violation in failure["violations"]:
+                print(f"  crash@{point}: {violation}")
+    print(f"result digest: sha256:{_digest(results)}")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_torture(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

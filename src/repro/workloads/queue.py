@@ -1,0 +1,173 @@
+"""Durable FIFO queue workload with an exactly-once delivery oracle.
+
+The queue is one table, ``q(id INTEGER PRIMARY KEY, item TEXT)``, used
+the way NVRAM key/value stores chain records through their WAL table:
+producers append records with monotonically increasing ids, consumers
+take the head (``MIN(id)``) and delete it in the same transaction.
+Because the read-and-delete is one atomic transaction through the WAL,
+the delivery property across power failures is *exactly once*:
+
+* a message whose dequeue transaction committed is gone for good — if
+  it reappears after recovery it will be delivered twice;
+* a message whose enqueue committed but whose dequeue did not must
+  still be present — if it vanished it was lost without delivery.
+
+:meth:`QueueWorkload.describe_mismatch` names these two failure classes
+when a recovered database matches no legitimate transaction boundary,
+so a torture-sweep finding says *which* queue guarantee broke.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.core import Op, Txn, Workload, workload_rng
+
+TABLE = "q"
+
+
+class QueueWorkload(Workload):
+    name = "queue"
+    table = TABLE
+
+    def __init__(self, txn_size: int = 3):
+        self.txn_size = txn_size
+
+    def setup_sql(self) -> tuple[str, ...]:
+        return (f"CREATE TABLE {TABLE} (id INTEGER PRIMARY KEY, item TEXT)",)
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+
+    def generate_txns(self, seed: int, op_count: int) -> tuple[Txn, ...]:
+        """Enqueues batch into transactions; every dequeue is its own
+        transaction (the atomic read-and-delete manages itself)."""
+        rng = workload_rng(seed, salt=3)
+        ops: list[Op] = []
+        pending = 0
+        next_id = 1
+        for i in range(op_count):
+            if pending == 0 or rng.random() < 0.55:
+                item = f"m{seed}.{i}." + "x" * rng.randint(4, 20)
+                ops.append(("enq", next_id, item))
+                next_id += 1
+                pending += 1
+            else:
+                ops.append(("deq", None, None))
+                pending -= 1
+        txns: list[Txn] = []
+        index = 0
+        while index < len(ops):
+            if ops[index][0] == "deq":
+                txns.append((ops[index],))
+                index += 1
+                continue
+            take = rng.randint(1, self.txn_size)
+            batch = []
+            while index < len(ops) and len(batch) < take:
+                if ops[index][0] == "deq":
+                    break
+                batch.append(ops[index])
+                index += 1
+            txns.append(tuple(batch))
+        return tuple(txns)
+
+    # ------------------------------------------------------------------
+    # model
+    # ------------------------------------------------------------------
+
+    def initial_model(self) -> dict:
+        return {"pending": {}, "delivered": []}
+
+    def fold_op(self, model: dict, op: Op) -> None:
+        kind, arg, extra = op
+        if kind == "enq":
+            model["pending"][arg] = extra
+        elif kind == "deq" and model["pending"]:
+            head = min(model["pending"])
+            model["delivered"].append((head, model["pending"].pop(head)))
+
+    def expected_read(self, model: dict, op: Op):
+        if op[0] != "deq":
+            return None
+        pending = model["pending"]
+        if not pending:
+            return []
+        head = min(pending)
+        return [(head, pending[head])]
+
+    # ------------------------------------------------------------------
+    # SQL
+    # ------------------------------------------------------------------
+
+    def apply_op(self, db, op: Op):
+        kind, arg, extra = op
+        if kind == "enq":
+            db.execute(f"INSERT INTO {TABLE} VALUES (?, ?)", (arg, extra))
+            return None
+        if kind != "deq":
+            raise ValueError(f"unknown queue op kind: {kind!r}")
+        if db.in_transaction:
+            return self._dequeue(db)
+        with db.transaction():
+            return self._dequeue(db)
+
+    @staticmethod
+    def _dequeue(db) -> list:
+        head = db.execute(f"SELECT MIN(id) FROM {TABLE}")[0][0]
+        if head is None:
+            return []
+        item = db.execute(
+            f"SELECT item FROM {TABLE} WHERE id = ?", (head,)
+        )[0][0]
+        db.execute(f"DELETE FROM {TABLE} WHERE id = ?", (head,))
+        return [(head, item)]
+
+    # ------------------------------------------------------------------
+    # snapshots / oracle
+    # ------------------------------------------------------------------
+
+    def model_rows(self, model: dict) -> tuple:
+        return tuple(sorted(model["pending"].items()))
+
+    def setup_progress(self, db) -> int:
+        return 1 if db.table_exists(TABLE) else 0
+
+    def describe_mismatch(self, recovered, states, allowed) -> str | None:
+        """Name the broken delivery guarantee.
+
+        Compares the recovered id set against the *closest* allowed
+        boundary (fewest differing messages): ids present though that
+        boundary had dequeued them are double-deliveries, ids absent
+        though still pending there are lost messages.
+        """
+        if recovered[0] != "rows":
+            return None
+        recovered_ids = {row[0] for row in recovered[1]}
+        best = None
+        for b in allowed:
+            state = states[b]
+            if state[0] != "rows":
+                continue
+            state_ids = {row[0] for row in state[1]}
+            cost = len(recovered_ids ^ state_ids)
+            if best is None or cost < best[0]:
+                best = (cost, state_ids)
+        if best is None:
+            return None
+        _cost, state_ids = best
+        double = sorted(recovered_ids - state_ids)
+        lost = sorted(state_ids - recovered_ids)
+        parts = []
+        if double:
+            parts.append(
+                f"message id(s) {double} reappeared after their dequeue "
+                "committed (double delivery)"
+            )
+        if lost:
+            parts.append(
+                f"message id(s) {lost} vanished without being dequeued "
+                "(lost message)"
+            )
+        if not parts:
+            parts.append("message payload(s) corrupted in place")
+        return "queue: " + "; ".join(parts)

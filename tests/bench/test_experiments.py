@@ -20,7 +20,7 @@ def test_registry_covers_all_paper_artifacts():
         "motivation",
         "ablation_blocksize", "ablation_persistency", "ablation_diff",
         "ablation_recovery", "ablation_checkpoint",
-        "group_commit", "service_storm", "replication",
+        "group_commit", "service_storm", "replication", "workloads",
     }
     assert set(EXPERIMENTS) == expected
 

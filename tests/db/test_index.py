@@ -1,0 +1,277 @@
+"""Tests for secondary indexes: key encoding, catalog, maintenance,
+planner probes, crash recovery, and page accounting."""
+
+import pytest
+
+from repro import System, tuna
+from repro.db.index import IndexTree, index_key, iter_entries
+from repro.errors import DatabaseError, SqlError, TableError
+from tests.conftest import make_nvwal_db
+
+
+@pytest.fixture
+def db(system):
+    database = make_nvwal_db(system)
+    database.execute(
+        "CREATE TABLE t (k INTEGER PRIMARY KEY, grp INTEGER, payload TEXT)"
+    )
+    return database
+
+
+class TestIndexKey:
+    def test_monotone_over_mixed_values(self):
+        ordered = [
+            None,
+            -1e300,
+            -17,
+            -0.5,
+            0,
+            0.25,
+            2,
+            1e300,
+            "",
+            "a",
+            "ab",
+            "b",
+            b"",
+            b"\x00",
+            b"\xff",
+        ]
+        keys = [index_key(v) for v in ordered]
+        assert keys == sorted(keys)
+
+    def test_equal_values_share_a_key(self):
+        assert index_key(2) == index_key(2.0)
+
+    def test_prefix_collisions_are_allowed(self):
+        # Lossy by design: the planner re-applies the full predicate.
+        assert index_key("prefix-aaaa") == index_key("prefix-bbbb")
+
+    def test_unindexable_type_raises(self):
+        with pytest.raises(DatabaseError):
+            index_key(object())
+
+
+class TestIndexDdl:
+    def test_create_backfills_existing_rows(self, db):
+        for i in range(10):
+            db.execute("INSERT INTO t VALUES (?, ?, ?)", (i, i % 3, f"p{i}"))
+        db.execute("CREATE INDEX t_grp ON t (grp)")
+        info = db.index("t_grp")
+        entries = sorted(IndexTree(db.pager, info.root).entries())
+        assert entries == sorted((i % 3, i) for i in range(10))
+        db.check_integrity()
+
+    def test_duplicate_name_rejected(self, db):
+        db.execute("CREATE INDEX t_grp ON t (grp)")
+        with pytest.raises(TableError):
+            db.execute("CREATE INDEX t_grp ON t (grp)")
+        db.execute("CREATE INDEX IF NOT EXISTS t_grp ON t (grp)")  # no-op
+
+    def test_index_name_collides_with_table(self, db):
+        with pytest.raises(TableError):
+            db.execute("CREATE INDEX t ON t (grp)")
+        db.execute("CREATE INDEX ix ON t (grp)")
+        with pytest.raises(TableError):
+            db.execute(
+                "CREATE TABLE ix (k INTEGER PRIMARY KEY, v TEXT)"
+            )
+
+    def test_missing_table_and_column(self, db):
+        with pytest.raises(TableError):
+            db.execute("CREATE INDEX ix ON nope (grp)")
+        with pytest.raises(SqlError):
+            db.execute("CREATE INDEX ix ON t (nope)")
+
+    def test_drop_index(self, db):
+        db.execute("CREATE INDEX t_grp ON t (grp)")
+        db.execute("DROP INDEX t_grp")
+        assert not db.index_exists("t_grp")
+        with pytest.raises(TableError):
+            db.execute("DROP INDEX t_grp")
+        db.execute("DROP INDEX IF EXISTS t_grp")  # no-op
+        db.check_integrity()
+
+    def test_drop_table_cascades_to_indexes(self, db):
+        db.execute("CREATE INDEX t_grp ON t (grp)")
+        db.execute("CREATE INDEX t_payload ON t (payload)")
+        db.execute("DROP TABLE t")
+        assert db.index_names() == []
+        db.check_integrity()
+
+    def test_drop_index_returns_pages_to_freelist(self, db):
+        for i in range(60):
+            db.execute("INSERT INTO t VALUES (?, ?, ?)", (i, i, "x" * 80))
+        before = db.pager.n_pages
+        db.execute("CREATE INDEX t_grp ON t (grp)")
+        assert db.pager.n_pages > before
+        db.execute("DROP INDEX t_grp")
+        # Freed pages must be claimable by the freelist partition check.
+        db.check_integrity()
+
+
+class TestIndexMaintenance:
+    def test_insert_update_delete_keep_agreement(self, db):
+        db.execute("CREATE INDEX t_grp ON t (grp)")
+        for i in range(12):
+            db.execute("INSERT INTO t VALUES (?, ?, ?)", (i, i % 4, f"p{i}"))
+        db.execute("UPDATE t SET grp = 9 WHERE k < 4")
+        db.execute("DELETE FROM t WHERE grp = 2")
+        db.check_integrity()
+
+    def test_insert_or_replace_updates_entries(self, db):
+        db.execute("CREATE INDEX t_grp ON t (grp)")
+        db.execute("INSERT INTO t VALUES (1, 10, 'a')")
+        db.execute("INSERT OR REPLACE INTO t VALUES (1, 20, 'b')")
+        assert db.execute("SELECT k FROM t WHERE grp = 10") == []
+        assert db.execute("SELECT k FROM t WHERE grp = 20") == [(1,)]
+        db.check_integrity()
+
+    def test_null_values_are_indexed(self, db):
+        db.execute("CREATE INDEX t_grp ON t (grp)")
+        db.execute("INSERT INTO t VALUES (1, NULL, 'a')")
+        db.execute("INSERT INTO t VALUES (2, 5, 'b')")
+        db.check_integrity()
+        # NULL = NULL is NULL (falsy), so an equality probe finds nothing.
+        assert db.execute("SELECT k FROM t WHERE grp = 5") == [(2,)]
+
+    def test_corrupted_index_detected(self, db):
+        db.execute("CREATE INDEX t_grp ON t (grp)")
+        db.execute("INSERT INTO t VALUES (1, 7, 'a')")
+        info = db.index("t_grp")
+        with db.transaction():
+            IndexTree(db.pager, info.root).remove(7, 1)
+        with pytest.raises(DatabaseError):
+            db.check_integrity()
+
+
+class TestIndexProbes:
+    def _fill(self, db):
+        db.execute("CREATE INDEX t_grp ON t (grp)")
+        rows = [(i, i % 5, f"p{i % 3}") for i in range(30)]
+        for row in rows:
+            db.execute("INSERT INTO t VALUES (?, ?, ?)", row)
+        return rows
+
+    def test_equality_probe_matches_scan(self, db):
+        rows = self._fill(db)
+        got = db.execute("SELECT k FROM t WHERE grp = 3")
+        assert sorted(got) == sorted((k,) for k, g, _p in rows if g == 3)
+
+    def test_range_probe_matches_scan(self, db):
+        rows = self._fill(db)
+        got = db.execute("SELECT k FROM t WHERE grp >= 2 AND grp < 4")
+        assert sorted(got) == sorted(
+            (k,) for k, g, _p in rows if 2 <= g < 4
+        )
+
+    def test_residual_predicate_still_applies(self, db):
+        rows = self._fill(db)
+        got = db.execute("SELECT k FROM t WHERE grp = 1 AND payload = 'p0'")
+        assert sorted(got) == sorted(
+            (k,) for k, g, p in rows if g == 1 and p == "p0"
+        )
+
+    def test_update_and_delete_via_index(self, db):
+        self._fill(db)
+        n = db.execute("UPDATE t SET payload = 'z' WHERE grp = 2")
+        assert n == 6
+        n = db.execute("DELETE FROM t WHERE grp = 4")
+        assert n == 6
+        db.check_integrity()
+
+    def test_cross_class_probe(self, db):
+        db.execute("CREATE INDEX t_payload ON t (payload)")
+        db.execute("INSERT INTO t VALUES (1, 1, 'abc')")
+        db.execute("INSERT INTO t VALUES (2, 2, 'abd')")
+        # TEXT > numeric in storage-class order: every TEXT matches.
+        assert sorted(db.execute("SELECT k FROM t WHERE payload > 5")) == [
+            (1,),
+            (2,),
+        ]
+
+
+class TestIndexOverflowAndRecovery:
+    def test_overflow_values_round_trip(self, db):
+        db.execute("CREATE INDEX t_payload ON t (payload)")
+        fat = "v" * 3000  # far past the inline payload limit
+        for i in range(6):
+            db.execute("INSERT INTO t VALUES (?, ?, ?)", (i, 0, fat + str(i)))
+        db.check_integrity()
+        got = db.execute(
+            "SELECT k FROM t WHERE payload = ?", (fat + "3",)
+        )
+        assert got == [(3,)]
+        db.execute("DELETE FROM t WHERE k = 3")
+        db.check_integrity()
+
+    def test_hot_key_payload_spills_to_overflow(self, db):
+        # Hundreds of rows share one group: all their entries hang off a
+        # single monotone key, forcing the entry list into overflow.
+        db.execute("CREATE INDEX t_grp ON t (grp)")
+        for i in range(200):
+            db.execute("INSERT INTO t VALUES (?, ?, ?)", (i, 1, f"p{i}"))
+        assert sorted(db.execute("SELECT k FROM t WHERE grp = 1")) == [
+            (i,) for i in range(200)
+        ]
+        db.check_integrity()
+
+    def test_index_survives_crash_recovery(self, system):
+        db = make_nvwal_db(system)
+        db.execute(
+            "CREATE TABLE t (k INTEGER PRIMARY KEY, grp INTEGER, payload TEXT)"
+        )
+        db.execute("CREATE INDEX t_grp ON t (grp)")
+        for i in range(40):
+            db.execute("INSERT INTO t VALUES (?, ?, ?)", (i, i % 4, f"p{i}"))
+        system.power_fail()
+        system.reboot()
+        db = make_nvwal_db(system)
+        assert db.index_exists("t_grp")
+        assert sorted(db.execute("SELECT k FROM t WHERE grp = 2")) == [
+            (i,) for i in range(40) if i % 4 == 2
+        ]
+        db.check_integrity()
+
+    def test_catalog_discriminates_after_reboot(self, system):
+        db = make_nvwal_db(system)
+        db.execute("CREATE TABLE a (k INTEGER PRIMARY KEY, v TEXT)")
+        db.execute("CREATE INDEX a_v ON a (v)")
+        db.execute("CREATE TABLE b (k INTEGER PRIMARY KEY, w INTEGER)")
+        db.checkpoint()
+        system.power_fail()
+        system.reboot()
+        db = make_nvwal_db(system)
+        assert db.table_names() == ["a", "b"]
+        assert db.index_names() == ["a_v"]
+        info = db.index("a_v")
+        assert (info.table, info.column) == ("a", "v")
+
+
+def test_scheme_equivalence_of_raw_index_pages():
+    """The index payloads must be bit-identical across WAL schemes after
+    an identical history (the difftest page-accounting surface)."""
+    from repro.wal.nvwal import NvwalScheme
+
+    dumps = []
+    for scheme in (NvwalScheme.eager, NvwalScheme.uh_ls_diff):
+        system = System(tuna(), seed=0)
+        db = make_nvwal_db(system, scheme=scheme())
+        db.execute(
+            "CREATE TABLE t (k INTEGER PRIMARY KEY, grp INTEGER, payload TEXT)"
+        )
+        db.execute("CREATE INDEX t_grp ON t (grp)")
+        for i in range(25):
+            db.execute("INSERT INTO t VALUES (?, ?, ?)", (i, i % 3, f"p{i}"))
+        db.execute("UPDATE t SET grp = 7 WHERE k < 5")
+        db.execute("DELETE FROM t WHERE grp = 1")
+        dumps.append(db.dump_all_raw())
+    assert dumps[0] == dumps[1]
+    assert any(name.startswith("index:") for name in dumps[0])
+
+
+def test_iter_entries_round_trips():
+    from repro.db.index import _entry
+
+    payload = _entry("abc", 1) + _entry(2.5, 7) + _entry(None, 3)
+    assert list(iter_entries(payload)) == [("abc", 1), (2.5, 7), (None, 3)]

@@ -85,6 +85,32 @@ class TestFiles:
         assert f.size == 100
         assert f.allocated_pages() < pages_before
 
+    def test_shrink_then_extend_reads_zeros(self, fs):
+        # POSIX: the gap between a shrink point and a later extension
+        # reads as zeros — the stale tail of the kept page must not leak.
+        f = fs.create("z")
+        f.write(0, b"\x01\x02\x03")
+        f.truncate(1)
+        f.write(4, b"\xff")
+        assert f.read(0, 5) == b"\x01\x00\x00\x00\xff"
+        f.fsync()
+        assert f.read(0, 5) == b"\x01\x00\x00\x00\xff"
+
+    def test_recycled_block_reads_zeros(self, fs):
+        # A block freed by one file and re-allocated to another must not
+        # leak the old owner's bytes — freshly allocated pages are zeros.
+        donor = fs.create("donor")
+        donor.write(0, b"\x01")
+        donor.fsync()
+        donor.truncate(0)
+        victim = fs.create("victim")
+        victim.write(1, b"\x00")  # page 0 recycled from donor
+        assert victim.read(0, 2) == b"\x00\x00"
+        fs.sync_all()
+        fs.power_fail(land_probability=0.5)
+        fs.mount()
+        assert fs.open("victim").read(0, 2) == b"\x00\x00"
+
     def test_preallocate_extends(self, fs):
         f = fs.create("p")
         f.preallocate(8)

@@ -1,0 +1,122 @@
+"""Tier-1 coverage of the workload suite: determinism, clean runs with
+inline read checks, group-commit runs, and queue accounting."""
+
+import pytest
+
+from repro.workloads import WORKLOADS, make_workload, run_one
+from repro.workloads.core import (
+    HotspotSampler,
+    UniformSampler,
+    ZipfianSampler,
+    model_states,
+    workload_rng,
+)
+from repro.workloads.runner import RunConfig
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_scripts_are_reproducible(self, name):
+        workload = make_workload(name)
+        assert workload.generate_txns(3, 50) == workload.generate_txns(3, 50)
+
+    def test_seeds_differ(self):
+        workload = make_workload("ycsb-a")
+        assert workload.generate_txns(0, 50) != workload.generate_txns(1, 50)
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_model_fold_is_pure(self, name):
+        workload = make_workload(name)
+        txns = workload.generate_txns(0, 40)
+        assert model_states(workload, txns) == model_states(workload, txns)
+
+    def test_run_results_are_reproducible(self):
+        config = RunConfig("ycsb-b", seed=2, ops=40, scheme="uh_ls_diff")
+        assert run_one(config) == run_one(config)
+
+
+class TestSamplers:
+    def test_zipfian_is_skewed(self):
+        rng = workload_rng(0, 1)
+        sampler = ZipfianSampler(100)
+        draws = [sampler.sample(rng) for _ in range(2000)]
+        assert all(0 <= d < 100 for d in draws)
+        # Rank 0 must be drawn far more often than the uniform rate.
+        assert draws.count(0) > 3 * (2000 / 100)
+
+    def test_hotspot_concentrates(self):
+        rng = workload_rng(0, 2)
+        sampler = HotspotSampler(100)
+        draws = [sampler.sample(rng) for _ in range(2000)]
+        hot = sum(1 for d in draws if d < 20)
+        assert hot > 0.6 * len(draws)
+
+    def test_uniform_covers(self):
+        rng = workload_rng(0, 3)
+        sampler = UniformSampler(10)
+        assert {sampler.sample(rng) for _ in range(500)} == set(range(10))
+
+
+class TestCleanRuns:
+    """Every workload runs clean — reads match the fold model inline,
+    final rows match, integrity (incl. page accounting) holds, and the
+    state survives a power cycle."""
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_solo_commit(self, name):
+        result = run_one(RunConfig(name, seed=0, ops=40, scheme="uh_ls_diff"))
+        assert result["violations"] == []
+        assert result["txns"] > 0
+        if name not in ("ycsb-c",):  # the read-only mix never writes
+            assert result["rows_final"] > 0
+
+    @pytest.mark.parametrize("name", ["ycsb-a", "timeseries", "queue"])
+    def test_group_commit(self, name):
+        result = run_one(
+            RunConfig(name, seed=1, ops=40, scheme="uh_ls_diff", group_epoch=4)
+        )
+        assert result["violations"] == []
+
+    @pytest.mark.parametrize("scheme", ["eager", "uh_cs_diff"])
+    def test_other_schemes(self, scheme):
+        result = run_one(RunConfig("ycsb-f", seed=0, ops=30, scheme=scheme))
+        assert result["violations"] == []
+
+    def test_reads_are_actually_checked(self):
+        result = run_one(RunConfig("ycsb-c", seed=0, ops=40, scheme="uh_ls_diff"))
+        assert result["violations"] == []
+        assert result["reads_checked"] > 10
+
+
+class TestWorkloadShapes:
+    def test_ycsb_setup_creates_index(self):
+        workload = make_workload("ycsb-a")
+        sql = workload.setup_sql()
+        assert any("CREATE INDEX" in s for s in sql)
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("nope")
+        with pytest.raises(ValueError):
+            make_workload("ycsb-z")
+
+    def test_queue_dequeues_in_fifo_order(self):
+        workload = make_workload("queue")
+        txns = workload.generate_txns(0, 60)
+        states = model_states(workload, txns)
+        model = workload.initial_model()
+        for txn in txns:
+            for op in txn:
+                workload.fold_op(model, op)
+        ids = [i for i, _item in model["delivered"]]
+        assert ids == sorted(ids)
+        assert len(states) == len(txns) + len(workload.setup_sql()) + 1
+
+    def test_timeseries_retention_trims(self):
+        workload = make_workload("timeseries")
+        model = workload.initial_model()
+        for txn in workload.generate_txns(0, 200):
+            for op in txn:
+                workload.fold_op(model, op)
+        # Retention keeps the window bounded well below total appends.
+        assert 0 < len(model) < 150
