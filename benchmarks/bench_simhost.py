@@ -34,6 +34,7 @@ from repro.bench.harness import BackendSpec, run_workload
 from repro.bench.mobibench import WorkloadSpec
 from repro.config import tuna
 from repro.system import System
+from repro.telemetry.metrics import telemetry_disabled
 from repro.wal.diff import DiffMode, compute_extents
 from repro.wal.nvwal import NvwalScheme
 
@@ -211,6 +212,51 @@ def probe_insert_txns() -> float:
     return _rate(step, min_seconds=0.5) * spec.txns
 
 
+#: Recorded ceiling on telemetry's host-side cost: with every layer
+#: instrumented, end-to-end host throughput may drop by at most this
+#: fraction versus a telemetry-disabled run.  Generous enough to absorb
+#: shared-host noise, tight enough to catch an accidentally hot
+#: instrument (e.g. a snapshot on the commit path).
+TELEMETRY_OVERHEAD_BOUND = 0.35
+
+
+def probe_telemetry_overhead() -> float:
+    """Instrumented txns/sec, guarded two ways against regressions.
+
+    1. *Simulated time is free*: per-run simulated transaction and
+       checkpoint nanoseconds must be bit-identical with telemetry on
+       and off.
+    2. *Host time is bounded*: the enabled/disabled host-rate gap must
+       stay under :data:`TELEMETRY_OVERHEAD_BOUND`.
+    """
+    spec = WorkloadSpec(op="insert", txns=50, ops_per_txn=1, group_epoch=8)
+
+    def run():
+        return run_workload(
+            tuna(500), BackendSpec.nvwal(NvwalScheme.uh_ls_diff()), spec
+        )
+
+    with telemetry_disabled():
+        baseline = run()
+        base_rate = _rate(run, min_seconds=0.5)
+    enabled = run()
+    enabled_rate = _rate(run, min_seconds=0.5)
+    assert enabled.txn_time_ns == baseline.txn_time_ns, (
+        "telemetry changed simulated transaction time: "
+        f"{enabled.txn_time_ns} != {baseline.txn_time_ns}"
+    )
+    assert enabled.checkpoint_time_ns == baseline.checkpoint_time_ns, (
+        "telemetry changed simulated checkpoint time: "
+        f"{enabled.checkpoint_time_ns} != {baseline.checkpoint_time_ns}"
+    )
+    overhead = base_rate / enabled_rate - 1.0
+    assert overhead < TELEMETRY_OVERHEAD_BOUND, (
+        f"telemetry host overhead {overhead:.1%} exceeds the "
+        f"{TELEMETRY_OVERHEAD_BOUND:.0%} bound"
+    )
+    return enabled_rate * spec.txns
+
+
 PROBES = {
     "cache_store_page_per_sec": probe_store_page,
     "cache_load_page_per_sec": probe_load_page,
@@ -220,6 +266,7 @@ PROBES = {
     "heapo_lookup_per_sec": probe_heapo_lookup,
     "diff_compute_extents_per_sec": probe_diff_extents,
     "host_insert_txns_per_sec": probe_insert_txns,
+    "telemetry_overhead_txns_per_sec": probe_telemetry_overhead,
 }
 
 
@@ -273,6 +320,10 @@ def test_simhost_heapo(benchmark):
 
 def test_simhost_diff(benchmark):
     _bench(benchmark, "diff_compute_extents_per_sec")
+
+
+def test_simhost_telemetry_overhead(benchmark):
+    _bench(benchmark, "telemetry_overhead_txns_per_sec")
 
 
 # ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@ import json
 from repro.bench.harness import parallel_map
 from repro.bench.report import Report, Table
 from repro.service.chaos import ChaosTask, run_task
+from repro.telemetry.metrics import Histogram
 
 SEEDS = (0, 1, 2, 3)
 QUICK_SEEDS = (0, 1)
@@ -37,6 +38,46 @@ CONFIGS = (
 OUT_FILE = "BENCH_service.json"
 
 
+def _merge_metrics(results) -> dict:
+    """Fold per-seed telemetry snapshots into one metrics section.
+
+    Counters add, gauges keep the per-seed maximum (they are point-in-time
+    occupancy readings), and histograms merge bucket-by-bucket — the merge
+    is associative, so the result is independent of seed order.
+    """
+    counters: dict = {}
+    gauges: dict = {}
+    hists: dict = {}
+    for r in results:
+        telemetry = r.get("telemetry") or {}
+        if not telemetry.get("enabled"):
+            continue
+        for name, value in telemetry["counters"].items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in telemetry["gauges"].items():
+            gauges[name] = max(gauges.get(name, 0), value)
+        for name, snap in telemetry["histograms"].items():
+            merged = Histogram.from_snapshot(name, snap)
+            if name in hists:
+                hists[name].merge_from(merged)
+            else:
+                hists[name] = merged
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {
+            name: {
+                "count": h.total,
+                "max": h.max,
+                "p50": h.quantile(50),
+                "p95": h.quantile(95),
+                "p99": h.quantile(99),
+            }
+            for name, h in sorted(hists.items())
+        },
+    }
+
+
 def _aggregate(results) -> dict:
     acked = sum(r["acked"] for r in results)
     sim_ns = sum(r["sim_time_ms"] for r in results) * 1_000_000
@@ -49,6 +90,7 @@ def _aggregate(results) -> dict:
     agg["crashes"] = sum(r["crashes"] for r in results)
     agg["violations"] = sum(len(r["violations"]) for r in results)
     agg["txns_per_sec"] = round(acked / (sim_ns / 1e9), 1) if sim_ns else 0.0
+    agg["metrics"] = _merge_metrics(results)
     return agg
 
 

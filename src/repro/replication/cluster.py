@@ -138,6 +138,9 @@ class Cluster:
             on_release=self.on_release,
             sabotage_seq=self.config.sabotage_seq,
             base_snapshot=base_snapshot,
+            # The *current* primary machine's registry: after a promotion
+            # this is the promoted follower's, not the dead machine's.
+            telemetry=self.db.system.telemetry,
         )
 
     # -- service wiring -----------------------------------------------------

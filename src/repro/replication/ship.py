@@ -154,6 +154,7 @@ class Replicator:
         on_release=None,
         sabotage_seq: int = 0,
         base_snapshot: Segment | None = None,
+        telemetry=None,
     ) -> None:
         if config.mode not in MODES:
             raise ValueError(f"unknown durability mode {config.mode!r}")
@@ -189,6 +190,19 @@ class Replicator:
         #: transaction-bearing entry at or above this seq (0 = off).
         self.sabotage_seq = sabotage_seq
         self._sabotaged_seq: int | None = None
+        # Standalone replicators (unit tests) run without a registry: a
+        # disabled local one hands out shared no-op instruments.
+        if telemetry is None:
+            from repro.telemetry.metrics import MetricsRegistry
+
+            telemetry = MetricsRegistry(clock, enabled=False)
+        self.telemetry = telemetry
+        self._t_lag = telemetry.histogram("repl.lag_ns")
+        self._t_gate = telemetry.histogram("repl.ack_gate_wait_ns")
+        self._c_sends = telemetry.counter("repl.sends")
+        self._c_resends = telemetry.counter("repl.resends")
+        self._c_snapshots = telemetry.counter("repl.snapshots")
+        self._g_released = telemetry.gauge("repl.released_seq")
 
     # -- commit gating ------------------------------------------------------
 
@@ -220,9 +234,14 @@ class Replicator:
             )
             self.ack_records[seq] = acked_by
             self.released_seq = seq
+            self._g_released.set(seq)
+            release_ns = int(self.clock.now_ns)
             for ticket in tickets:
                 if self.service is not None:
                     self.service._ack(ticket.session_id, ticket.ops)
+                joined = getattr(ticket, "joined_ns", 0)
+                if joined:
+                    self._t_gate.observe(release_ns - joined)
                 ticket.done = True
             if self.on_release is not None:
                 self.on_release(seq, acked_by)
@@ -298,6 +317,7 @@ class Replicator:
             blob = self._encode_snapshot()
             if blob is None:
                 return
+            self._c_snapshots.inc()
         else:
             lo = node.durable_seq + 1
             hi = min(head, node.durable_seq + self.config.send_window)
@@ -307,6 +327,9 @@ class Replicator:
             if not blob:
                 return
         channel.send(blob)
+        self._c_sends.inc()
+        if not idle:
+            self._c_resends.inc()  # timed out with a batch still in flight
         self._last_send_ns[node.node_id] = now_ns
 
     def tick(self) -> None:
@@ -324,6 +347,7 @@ class Replicator:
                     entry = self.shiplog.entry(seq)
                     if entry is not None:
                         self.lag_samples.append(now_ns - entry.sealed_ns)
+                        self._t_lag.observe(int(now_ns - entry.sealed_ns))
             self._pump_sends(node, channel, now_ns)
         self._release_ready()
 

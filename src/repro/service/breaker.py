@@ -15,6 +15,13 @@ media failures into fast rejection:
 
 All timing is simulated-clock; state transitions are pure functions of
 the failure/success sequence, keeping chaos runs reproducible.
+
+Every transition is recorded as a structured event ``(old_state,
+new_state, cause, at_ns)`` in :attr:`events` and reported through the
+optional ``on_event`` callback (the service forwards these into
+telemetry).  The ``open → half_open`` edge is computed lazily by the
+:attr:`state` property, so it is *observed* — and emitted — the first
+time anyone looks after the cooldown elapses.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ class CircuitBreaker:
         clock: SimClock,
         failure_threshold: int = 3,
         cooldown_ns: int = 2_000_000_000,
+        on_event=None,
     ) -> None:
         self.clock = clock
         self.failure_threshold = failure_threshold
@@ -43,6 +51,12 @@ class CircuitBreaker:
         self._opened_at_ns = 0.0
         #: trip count over the breaker's lifetime (stats/experiments)
         self.trips = 0
+        #: Structured transitions: (old_state, new_state, cause, at_ns).
+        self.events: list[tuple[str, str, str, int]] = []
+        self.on_event = on_event
+        # Last state an observer was told about; lets the lazily computed
+        # open → half_open edge emit exactly one event when first seen.
+        self._reported_state = CLOSED
 
     @property
     def state(self) -> str:
@@ -53,25 +67,48 @@ class CircuitBreaker:
             return HALF_OPEN
         return self._state
 
+    def _emit(self, old: str, new: str, cause: str) -> None:
+        if old == new:
+            return
+        self._reported_state = new
+        event = (old, new, cause, int(self.clock.now_ns))
+        self.events.append(event)
+        if self.on_event is not None:
+            self.on_event(*event)
+
+    def _observe_state(self) -> str:
+        """Current state, emitting the lazy cooldown-elapsed edge."""
+        state = self.state
+        if state == HALF_OPEN and self._reported_state == OPEN:
+            self._emit(OPEN, HALF_OPEN, "cooldown_elapsed")
+        return state
+
     def allow_probe(self) -> bool:
         """Whether a health probe may touch the hardware right now."""
-        return self.state != OPEN
+        return self._observe_state() != OPEN
 
     def record_failure(self) -> None:
         """One media failure: count toward (or renew) the trip."""
+        self._observe_state()
+        old = self._reported_state
         self._consecutive_failures += 1
         if self._state == CLOSED:
             if self._consecutive_failures >= self.failure_threshold:
                 self._trip()
+                self._emit(old, OPEN, "failure_threshold")
         else:
             # A half-open probe failed (or failures continue while open):
             # restart the cooldown from now.
             self._trip()
+            self._emit(old, OPEN, "probe_failed")
 
     def record_success(self) -> None:
         """One healthy probe/request: close from half-open, reset counts."""
+        self._observe_state()
+        old = self._reported_state
         self._consecutive_failures = 0
         self._state = CLOSED
+        self._emit(old, CLOSED, "probe_success")
 
     def _trip(self) -> None:
         if self._state == CLOSED:

@@ -45,6 +45,8 @@ from repro.service.sched import Scheduler
 from repro.service.server import DatabaseService, ServiceConfig
 from repro.service.session import ClientSession
 from repro.system import System
+from repro.telemetry.collector import Collector
+from repro.telemetry.export import build_export, canonical_json, export_digest
 from repro.torture.driver import ROTATION, SCHEMES
 from repro.torture.workload import TABLE, generate_txns
 from repro.wal.base import SyncMode
@@ -335,6 +337,9 @@ class _Driver:
         self.stats_total: dict[str, int] = {}
         self.count_ops = count_ops
         self.ops_counted = 0
+        #: Telemetry time-series collector (built in run() once the
+        #: system exists; one sample list spans every power cycle).
+        self.collector = None
 
     # -- model ---------------------------------------------------------
 
@@ -492,6 +497,7 @@ class _Driver:
     def run(self) -> ChaosOutcome:
         scenario = self.scenario
         system = System(tuna(), seed=scenario.seed)
+        self.collector = Collector(system.telemetry)
         if scenario.plan is not None:
             system.inject_faults(scenario.plan)
         if self.count_ops:
@@ -565,6 +571,11 @@ class _Driver:
                 scheduler.spawn(
                     "storms", self._storm_job(system), daemon=True
                 )
+            # Fresh generator per epoch (abandon() closes the old one);
+            # the collector's sample list spans all epochs.
+            scheduler.spawn(
+                "collector", self.collector.daemon(), daemon=True
+            )
             armed = False
             if epoch < len(scenario.power_cycles):
                 system.crash.arm(scenario.power_cycles[epoch])
@@ -661,7 +672,41 @@ class _Driver:
         for key, value in service.stats.as_dict().items():
             self.stats_total[key] = self.stats_total.get(key, 0) + value
 
+    def _telemetry_summary(self, system: System) -> dict:
+        """Final telemetry state + the oracle's determinism checks.
+
+        Building the export twice must yield identical canonical JSON
+        (any hidden nondeterminism — unsorted iteration, host-dependent
+        values — trips here), and collector samples must be monotone in
+        simulated time.  Both failures are chaos violations.
+        """
+        registry = system.telemetry
+        if not registry.enabled:
+            return {"enabled": False}
+        doc = build_export(registry, self.collector)
+        if canonical_json(doc) != canonical_json(
+            build_export(registry, self.collector)
+        ):
+            self.violations.append("telemetry: export is not deterministic")
+        samples = self.collector.samples if self.collector else []
+        last_t = -1
+        for sample in samples:
+            if sample["t_ns"] < last_t:
+                self.violations.append(
+                    "telemetry: collector samples are not monotone in "
+                    "simulated time"
+                )
+                break
+            last_t = sample["t_ns"]
+        return {
+            "enabled": True,
+            "digest": export_digest(doc),
+            "samples": len(samples),
+            **registry.snapshot(),
+        }
+
     def _outcome(self, system: System, service) -> ChaosOutcome:
+        telemetry = self._telemetry_summary(system)
         summary = {
             "seed": self.scenario.seed,
             "scheme": self.scenario.scheme,
@@ -674,6 +719,7 @@ class _Driver:
             "relaxed": self.relaxed,
             "sim_time_ms": int(system.clock.now_ns // 1_000_000),
             "stats": dict(sorted(self.stats_total.items())),
+            "telemetry": telemetry,
             "violations": list(self.violations),
         }
         return ChaosOutcome(violations=tuple(self.violations), summary=summary)

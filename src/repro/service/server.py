@@ -47,6 +47,7 @@ from repro.errors import (
 )
 from repro.service.breaker import CircuitBreaker
 from repro.service.retry import RetryPolicy, call_with_retry
+from repro.telemetry.metrics import COUNT_BOUNDS
 
 READ_WRITE = "rw"
 READ_ONLY = "ro"
@@ -121,13 +122,16 @@ class ServiceStats:
 class _CommitTicket:
     """One parked writer's claim on the open group-commit epoch."""
 
-    __slots__ = ("session_id", "ops", "done", "error")
+    __slots__ = ("session_id", "ops", "done", "error", "joined_ns")
 
     def __init__(self, session_id: str, ops) -> None:
         self.session_id = session_id
         self.ops = ops
         self.done = False
         self.error: BaseException | None = None
+        #: Simulated time the commit point passed (telemetry: how long
+        #: the writer was parked behind the barrier / replication gate).
+        self.joined_ns = 0
 
 
 class DatabaseService:
@@ -151,6 +155,7 @@ class DatabaseService:
             self.clock,
             failure_threshold=self.config.breaker_threshold,
             cooldown_ns=self.config.breaker_cooldown_ns,
+            on_event=self._on_breaker_event,
         )
         self.mode = READ_WRITE
         self.demotion_reason = ""
@@ -178,6 +183,34 @@ class DatabaseService:
         #: (mode-dependent: sync/semisync/async) instead of being sent
         #: the moment the transaction is locally durable.
         self.replicator = None
+        #: Mode transitions: (old_mode, new_mode, cause, at_ns).
+        self.mode_events: list[tuple[str, str, str, int]] = []
+        registry = self.system.telemetry
+        self.telemetry = registry
+        self._t_admission = registry.histogram("service.admission_wait_ns")
+        self._t_commit = registry.histogram("service.commit_latency_ns")
+        self._t_retry = registry.histogram("service.retry_backoff_ns")
+        self._t_epoch = registry.histogram(
+            "service.epoch_txns", bounds=COUNT_BOUNDS
+        )
+        self._t_barrier = registry.histogram("service.barrier_wait_ns")
+        self._c_acked = registry.counter("service.txns_acked")
+        self._c_deadline = registry.counter("service.deadline_misses")
+        self._c_demotions = registry.counter("service.demotions")
+        self._c_promotions = registry.counter("service.promotions")
+        self._c_breaker_trips = registry.counter("service.breaker_trips")
+        self._c_media = registry.counter("service.media_failures")
+
+    def _on_breaker_event(
+        self, old: str, new: str, cause: str, at_ns: int
+    ) -> None:
+        self.telemetry.event("service.breaker", old=old, new=new, cause=cause)
+        if old == "closed" and new == "open":
+            self._c_breaker_trips.inc()
+
+    def _note_mode(self, old: str, new: str, cause: str) -> None:
+        self.mode_events.append((old, new, cause, int(self.clock.now_ns)))
+        self.telemetry.event("service.mode", old=old, new=new, cause=cause)
 
     # ------------------------------------------------------------------
     # write path
@@ -195,13 +228,21 @@ class DatabaseService:
         **not** acknowledged.
         """
         attempt = 0
+        tracer = self.telemetry.tracer
+        request_start = int(self.clock.now_ns)
+        root = tracer.start("txn")
         while True:
             self._check_writable()
             self._check_deadline(deadline_ns)
             try:
+                admit_start = int(self.clock.now_ns)
+                admit_span = tracer.start("admission", parent=root)
                 yield from self._acquire_writer(session_id, deadline_ns)
+                tracer.finish(admit_span)
+                self._t_admission.observe(int(self.clock.now_ns) - admit_start)
                 try:
                     applied = yield from self._apply_ops(ops, deadline_ns)
+                    commit_span = tracer.start("commit", parent=root)
                     if self.config.group_commit:
                         ticket = self._join_epoch(session_id, ops)
                         yield from self._await_ticket(ticket)
@@ -214,11 +255,15 @@ class DatabaseService:
                         # replication gate (the replicator calls _ack
                         # and releases the ticket in sequence order).
                         ticket = _CommitTicket(session_id, ops)
+                        ticket.joined_ns = int(self.clock.now_ns)
                         self.replicator.gate((ticket,))
                         yield from self._await_ticket(ticket)
                     else:
                         self._commit(session_id)
                         self._ack(session_id, ops)
+                    tracer.finish(commit_span)
+                    self._t_commit.observe(int(self.clock.now_ns) - request_start)
+                    tracer.finish(root)
                     return applied
                 except BaseException:
                     # PowerFailure included: rollback only touches
@@ -235,6 +280,7 @@ class DatabaseService:
                     raise
             except MediaError:
                 self.stats.media_failures += 1
+                self._c_media.inc()
                 self.breaker.record_failure()
                 if self.breaker.state != "closed":
                     self._demote("breaker")
@@ -250,9 +296,11 @@ class DatabaseService:
                     and self.clock.now_ns + delay > deadline_ns
                 ):
                     self.stats.deadline_misses += 1
+                    self._c_deadline.inc()
                     raise DeadlineExceeded(
                         "retry backoff would overrun the request deadline"
                     ) from exc
+                self._t_retry.observe(int(delay))
                 yield delay
 
     def _acquire_writer(self, session_id: str, deadline_ns: float | None):
@@ -314,6 +362,7 @@ class DatabaseService:
 
     def _ack(self, session_id: str, ops) -> None:
         self.stats.txns_acked += 1
+        self._c_acked.inc()
         if self.on_ack is not None:
             self.on_ack(session_id, ops)
 
@@ -331,6 +380,7 @@ class DatabaseService:
         """
         self.db.group_commit(owner=session_id)
         ticket = _CommitTicket(session_id, ops)
+        ticket.joined_ns = int(self.clock.now_ns)
         self._epoch_queue.append(ticket)
         if len(self._epoch_queue) == 1:
             self._epoch_opened_ns = self.clock.now_ns
@@ -370,6 +420,7 @@ class DatabaseService:
         tickets = self._epoch_queue
         self._epoch_queue = []
         self._flushing = tuple(tickets)
+        self._t_epoch.observe(len(tickets))
         if self.config.ack_before_commit:
             for ticket in tickets:  # sabotage: ack ahead of the barrier
                 self._ack(ticket.session_id, ticket.ops)
@@ -399,7 +450,9 @@ class DatabaseService:
             for ticket in tickets:
                 self._ack(ticket.session_id, ticket.ops)
         self.stats.epochs_flushed += 1
+        barrier_ns = int(self.clock.now_ns)
         for ticket in tickets:
+            self._t_barrier.observe(barrier_ns - ticket.joined_ns)
             ticket.done = True
         self._flushing = ()
 
@@ -490,12 +543,18 @@ class DatabaseService:
         self.mode = READ_ONLY
         self.demotion_reason = reason
         self.stats.demotions += 1
+        self._c_demotions.inc()
+        self._note_mode(READ_WRITE, READ_ONLY, reason)
 
     def _promote(self) -> None:
+        old = self.mode
         self.mode = READ_WRITE
         self.demotion_reason = ""
         self.breaker.record_success()
         self.stats.promotions += 1
+        if old != READ_WRITE:
+            self._c_promotions.inc()
+            self._note_mode(old, READ_WRITE, "maintenance_repair")
 
     # ------------------------------------------------------------------
     # maintenance daemon

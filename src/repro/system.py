@@ -27,6 +27,7 @@ from repro.nvram.heapo import Heapo
 from repro.storage.blockdev import BlockDevice
 from repro.storage.ext4 import Ext4FileSystem
 from repro.storage.trace import BlockTrace
+from repro.telemetry.metrics import MetricsRegistry, default_enabled
 
 
 class System:
@@ -60,6 +61,11 @@ class System:
         )
         self.fs = Ext4FileSystem(self.blockdev)
         self.fs.format()
+        # Telemetry rides the simulated clock and never touches the CPU
+        # model, so instrumented code spends zero simulated time on it.
+        # The registry survives power cycles (reboot() doesn't reset it):
+        # telemetry is the observer's notebook, not machine state.
+        self.telemetry = MetricsRegistry(self.clock, enabled=default_enabled())
         self.fault_plan: FaultPlan | None = None
         self.nvram_faults: NvramFaultInjector | None = None
         self.io_faults: BlockIoFaultInjector | None = None

@@ -1,0 +1,69 @@
+"""Deterministic telemetry spine: metrics, spans, and JSON export.
+
+Every instrument runs on the *simulated* clock and is a pure function of
+the run's seed: same seed → byte-identical export documents, regardless
+of host machine or ``--jobs`` parallelism.  Telemetry never calls into
+the CPU model, so enabling it leaves per-transaction simulated time
+bit-identical (pinned by ``tests/telemetry/test_determinism.py`` and the
+``telemetry_overhead`` bench probe).
+
+Layout:
+
+- :mod:`repro.telemetry.metrics` — counters, gauges, integer-bucket
+  histograms, the process-local :class:`MetricsRegistry` (one per
+  :class:`~repro.system.System`, at ``system.telemetry``).
+- :mod:`repro.telemetry.spans` — lightweight spans with explicit
+  parent/child links and deterministic ids.
+- :mod:`repro.telemetry.collector` — scheduler daemon sampling the
+  registry into an append-only JSON time series.
+- :mod:`repro.telemetry.export` — canonical JSON export, SHA-256
+  digests, structural validation.
+- :mod:`repro.telemetry.report` — plain-text dashboard + ASCII charts.
+- :mod:`repro.telemetry.storm` — a seeded all-layer storm producing one
+  artifact (``python -m repro.telemetry run``).
+"""
+
+from repro.telemetry.collector import Collector
+from repro.telemetry.export import (
+    build_export,
+    canonical_json,
+    export_digest,
+    load_export,
+    validate_export,
+    write_export,
+)
+from repro.telemetry.metrics import (
+    COUNT_BOUNDS,
+    LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_enabled,
+    set_default_enabled,
+    telemetry_disabled,
+)
+from repro.telemetry.report import render_report
+from repro.telemetry.spans import Span, Tracer
+
+__all__ = [
+    "COUNT_BOUNDS",
+    "Collector",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BOUNDS",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "build_export",
+    "canonical_json",
+    "default_enabled",
+    "export_digest",
+    "load_export",
+    "render_report",
+    "set_default_enabled",
+    "telemetry_disabled",
+    "validate_export",
+    "write_export",
+]

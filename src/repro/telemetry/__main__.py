@@ -1,0 +1,3 @@
+from repro.telemetry.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Scheduler-driven collector: registry snapshots → JSON time series.
+
+The :class:`Collector` is a read-only daemon on the cooperative
+scheduler: every ``interval_ns`` of simulated time it appends one sample
+— counters and gauges at that instant — to an append-only series.  It
+never touches the CPU model, so spawning it changes *nothing* about when
+regular jobs run or how much simulated time a run spends (the scheduler
+pops wake times in order; a read-only daemon's wakes interleave without
+moving anyone else's).
+
+Samples carry counters and gauges only; histograms are heavyweight and
+change shape rarely, so they are exported once per run from the registry
+(and merged across runs with :meth:`Histogram.merge_from`, which is
+associative — see ``tests/telemetry/test_metrics.py``).
+"""
+
+from __future__ import annotations
+
+#: Default sampling cadence: 0.5 simulated ms.
+DEFAULT_INTERVAL_NS = 500_000
+
+#: Samples retained before the series stops growing (the truncation is
+#: recorded in ``dropped`` so an export never silently loses its tail).
+DEFAULT_MAX_SAMPLES = 20_000
+
+
+class Collector:
+    """Periodic sampler over one :class:`MetricsRegistry`."""
+
+    def __init__(
+        self,
+        registry,
+        interval_ns: int = DEFAULT_INTERVAL_NS,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+    ) -> None:
+        self.registry = registry
+        self.interval_ns = interval_ns
+        self.max_samples = max_samples
+        #: Append-only samples: {"t_ns", "counters", "gauges"}.
+        self.samples: list[dict] = []
+        self.dropped = 0
+
+    def sample(self) -> None:
+        """Append one sample at the current simulated time."""
+        registry = self.registry
+        if not registry.enabled:
+            return
+        if len(self.samples) >= self.max_samples:
+            self.dropped += 1
+            return
+        self.samples.append(
+            {
+                "t_ns": int(registry.clock.now_ns),
+                "counters": {
+                    name: c.value
+                    for name, c in sorted(registry._counters.items())
+                },
+                "gauges": {
+                    name: g.value
+                    for name, g in sorted(registry._gauges.items())
+                },
+            }
+        )
+
+    def daemon(self):
+        """Daemon generator for :meth:`Scheduler.spawn`.
+
+        Spawn a *fresh* call per scheduler (a generator is single-use;
+        after a power failure the driver abandons it and spawns another
+        on the next epoch's scheduler — the sample list carries over).
+        """
+        while True:
+            yield self.interval_ns
+            self.sample()
+
+    def series(self) -> dict:
+        """JSON-able time series."""
+        return {
+            "interval_ns": self.interval_ns,
+            "dropped": self.dropped,
+            "samples": self.samples,
+        }

@@ -1,0 +1,187 @@
+"""Canonical telemetry export: build, serialize, digest, validate.
+
+One export document carries everything a run produced — final metric
+state, structured events, spans, and the collector's time series — in a
+canonical JSON encoding (sorted keys, no whitespace) whose SHA-256 is
+the run's telemetry digest.  Two same-seed runs must produce
+byte-identical documents; the chaos harness and CI both check exactly
+that.
+
+The validator is hand-rolled (no external schema library): it walks the
+document and returns human-readable problem strings, empty when the
+document is well-formed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+SCHEMA_VERSION = 1
+
+
+def build_export(registry, collector=None, meta: dict | None = None) -> dict:
+    """Assemble the canonical export document for one run."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "meta": dict(meta or {}),
+        "metrics": registry.snapshot(),
+        "events": list(registry.events),
+        "spans": registry.tracer.snapshot(),
+        "series": collector.series() if collector is not None else None,
+    }
+
+
+def canonical_json(doc: dict) -> str:
+    """Canonical encoding: sorted keys, minimal separators."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def export_digest(doc: dict) -> str:
+    """SHA-256 over the canonical encoding."""
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+def write_export(doc: dict, path: str) -> None:
+    """Write the canonical encoding (plus digest line) to ``path``.
+
+    The file itself is canonical JSON — byte-identical across same-seed
+    runs, so CI can compare two runs with ``cmp``.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(canonical_json(doc))
+        fh.write("\n")
+
+
+def load_export(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+
+
+def _expect(problems, condition, message) -> bool:
+    if not condition:
+        problems.append(message)
+    return condition
+
+
+def _check_histogram(problems, name: str, snap) -> None:
+    if not _expect(problems, isinstance(snap, dict), f"histogram {name}: not a dict"):
+        return
+    for key in ("count", "sum", "max", "p50", "p95", "p99", "overflow"):
+        value = snap.get(key)
+        _expect(
+            problems,
+            isinstance(value, int) and value >= 0,
+            f"histogram {name}: {key} must be a non-negative int, got {value!r}",
+        )
+    buckets = snap.get("buckets")
+    if not _expect(
+        problems, isinstance(buckets, list), f"histogram {name}: buckets missing"
+    ):
+        return
+    last_bound = 0
+    bucket_total = 0
+    for pair in buckets:
+        if not _expect(
+            problems,
+            isinstance(pair, list) and len(pair) == 2,
+            f"histogram {name}: malformed bucket entry {pair!r}",
+        ):
+            return
+        bound, count = pair
+        _expect(
+            problems,
+            isinstance(bound, int) and bound > last_bound,
+            f"histogram {name}: bucket bounds must be strictly increasing",
+        )
+        _expect(
+            problems,
+            isinstance(count, int) and count > 0,
+            f"histogram {name}: bucket counts must be positive ints",
+        )
+        last_bound = bound
+        bucket_total += count if isinstance(count, int) else 0
+    _expect(
+        problems,
+        bucket_total + snap.get("overflow", 0) == snap.get("count", -1),
+        f"histogram {name}: bucket counts + overflow != count",
+    )
+
+
+def validate_export(doc) -> list[str]:
+    """Structural validation; returns problem strings (empty = valid)."""
+    problems: list[str] = []
+    if not _expect(problems, isinstance(doc, dict), "document is not an object"):
+        return problems
+    _expect(
+        problems,
+        doc.get("schema") == SCHEMA_VERSION,
+        f"schema must be {SCHEMA_VERSION}, got {doc.get('schema')!r}",
+    )
+    metrics = doc.get("metrics")
+    if _expect(problems, isinstance(metrics, dict), "metrics section missing"):
+        for section in ("counters", "gauges"):
+            values = metrics.get(section)
+            if _expect(
+                problems,
+                isinstance(values, dict),
+                f"metrics.{section} missing",
+            ):
+                for name, value in values.items():
+                    _expect(
+                        problems,
+                        isinstance(value, int),
+                        f"{section}.{name} must be an int, got {value!r}",
+                    )
+        histograms = metrics.get("histograms")
+        if _expect(problems, isinstance(histograms, dict), "metrics.histograms missing"):
+            for name, snap in histograms.items():
+                _check_histogram(problems, name, snap)
+    events = doc.get("events")
+    if _expect(problems, isinstance(events, list), "events section missing"):
+        for i, event in enumerate(events):
+            ok = isinstance(event, dict) and isinstance(
+                event.get("name"), str
+            ) and isinstance(event.get("at_ns"), int)
+            _expect(problems, ok, f"events[{i}]: needs string name and int at_ns")
+    spans = doc.get("spans")
+    if _expect(problems, isinstance(spans, dict), "spans section missing"):
+        for key in ("count", "dropped", "open"):
+            _expect(
+                problems,
+                isinstance(spans.get(key), int),
+                f"spans.{key} must be an int",
+            )
+    series = doc.get("series")
+    if series is not None and _expect(
+        problems, isinstance(series, dict), "series must be an object or null"
+    ):
+        samples = series.get("samples")
+        if _expect(problems, isinstance(samples, list), "series.samples missing"):
+            last_t = -1
+            for i, sample in enumerate(samples):
+                if not _expect(
+                    problems,
+                    isinstance(sample, dict)
+                    and isinstance(sample.get("t_ns"), int),
+                    f"series.samples[{i}]: needs int t_ns",
+                ):
+                    continue
+                _expect(
+                    problems,
+                    sample["t_ns"] >= last_t,
+                    f"series.samples[{i}]: timestamps must be non-decreasing",
+                )
+                last_t = sample["t_ns"]
+                for section in ("counters", "gauges"):
+                    _expect(
+                        problems,
+                        isinstance(sample.get(section), dict),
+                        f"series.samples[{i}].{section} missing",
+                    )
+    return problems

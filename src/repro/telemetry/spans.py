@@ -1,0 +1,128 @@
+"""Lightweight spans with explicit parent/child links.
+
+A :class:`Span` is one timed unit of work on the simulated clock; a
+:class:`Tracer` hands them out with deterministic sequential ids.
+Parents are passed *explicitly* (``tracer.start(name, parent=root)``)
+rather than kept on an implicit context stack: requests here are
+cooperatively scheduled generators, so many transactions interleave on
+one Python thread and a shared LIFO stack would attribute children to
+whichever request last yielded.  Explicit parents cost one argument and
+stay correct under any interleaving.
+
+Spans never advance the clock; an abandoned request (power failure mid
+flight) simply leaves its span open — exported with ``end_ns: -1``,
+which is itself a deterministic record of where the crash landed.
+"""
+
+from __future__ import annotations
+
+#: Spans retained per tracer before new starts are counted but dropped.
+#: Chaos-scale runs sit far below this; the cap bounds memory on very
+#: long storms while keeping the dropped count deterministic.
+DEFAULT_MAX_SPANS = 50_000
+
+
+class Span:
+    """One timed unit of work."""
+
+    __slots__ = ("span_id", "name", "parent_id", "start_ns", "end_ns")
+
+    def __init__(
+        self, span_id: int, name: str, parent_id: int, start_ns: int
+    ) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.parent_id = parent_id
+        self.start_ns = start_ns
+        self.end_ns: int | None = None
+
+    def duration_ns(self) -> int:
+        """Elapsed simulated ns (0 while the span is still open)."""
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.span_id,
+            "name": self.name,
+            "parent": self.parent_id,
+            "start_ns": self.start_ns,
+            "end_ns": -1 if self.end_ns is None else self.end_ns,
+        }
+
+
+class _NoopSpan:
+    """Shared stand-in when the tracer is disabled or at capacity."""
+
+    __slots__ = ()
+
+    span_id = 0
+    parent_id = 0
+    name = "<disabled>"
+    start_ns = 0
+    end_ns = 0
+
+    def duration_ns(self) -> int:
+        return 0
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Deterministic span factory for one simulated machine."""
+
+    def __init__(
+        self, clock, enabled: bool = True, max_spans: int = DEFAULT_MAX_SPANS
+    ) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._next_id = 1
+
+    def start(self, name: str, parent=None):
+        """Open a span; pass the parent span explicitly (or None)."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return _NOOP_SPAN
+        span = Span(
+            self._next_id,
+            name,
+            parent.span_id if parent is not None else 0,
+            int(self.clock.now_ns),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def finish(self, span) -> None:
+        """Close a span at the current simulated time."""
+        if span is _NOOP_SPAN or not self.enabled:
+            return
+        span.end_ns = int(self.clock.now_ns)
+
+    def snapshot(self) -> dict:
+        """JSON-able summary: per-name aggregate + the raw span list."""
+        by_name: dict[str, list[int]] = {}
+        for span in self.spans:
+            if span.end_ns is not None:
+                by_name.setdefault(span.name, []).append(span.duration_ns())
+        return {
+            "count": len(self.spans),
+            "dropped": self.dropped,
+            "open": sum(1 for s in self.spans if s.end_ns is None),
+            "by_name": {
+                name: {
+                    "count": len(durations),
+                    "total_ns": sum(durations),
+                    "max_ns": max(durations),
+                }
+                for name, durations in sorted(by_name.items())
+            },
+            "spans": [s.as_dict() for s in self.spans],
+        }

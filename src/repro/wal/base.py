@@ -178,3 +178,36 @@ class WalBackend(abc.ABC):
         The default backend has nothing to scrub and reports clean.
         """
         return RecoveryReport()
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    #
+    # Backends that carry a ``system`` publish occupancy gauges and
+    # checkpoint histograms into ``system.telemetry``.  Both helpers are
+    # pure observers on the simulated clock: they never touch the CPU or
+    # storage models, so instrumented backends spend zero simulated time
+    # (and change zero behavior) on telemetry.
+
+    def note_occupancy(self) -> None:
+        """Publish current log occupancy (frames; log bytes if known)."""
+        registry = getattr(getattr(self, "system", None), "telemetry", None)
+        if registry is None:
+            return
+        registry.gauge("wal.frames").set(self.frame_count())
+        log_bytes = getattr(self, "log_bytes_in_use", None)
+        if log_bytes is not None:
+            registry.gauge("wal.log_bytes").set(log_bytes())
+
+    def _note_checkpoint(self, started_ns: float, pages: int) -> None:
+        """Record one finished checkpoint (duration, pages, occupancy)."""
+        registry = getattr(getattr(self, "system", None), "telemetry", None)
+        if registry is None:
+            return
+        clock = self.system.clock  # type: ignore[attr-defined]
+        registry.histogram("wal.checkpoint_ns").observe(
+            int(clock.now_ns) - int(started_ns)
+        )
+        registry.counter("wal.checkpoints").inc()
+        registry.gauge("wal.checkpoint_pages").set(pages)
+        self.note_occupancy()

@@ -160,6 +160,7 @@ class FileWalBackend(WalBackend):
             self._logged_images[pno] = bytes(image)
         if commit and not self._defer_fsync:
             _fsync_retry(self.wal_file)
+        self.note_occupancy()
 
     # -- group commit --------------------------------------------------------
 
@@ -277,6 +278,7 @@ class FileWalBackend(WalBackend):
         truncate and restamp the log (new salt invalidates old frames)."""
         if self.db_file is None or self.wal_file is None:
             raise RuntimeError("file WAL is not bound")
+        started_ns = self.system.clock.now_ns
         page_size = self.system.page_size
         pages = sorted(self._logged_images)
         for pno in pages:
@@ -290,6 +292,7 @@ class FileWalBackend(WalBackend):
         self._frame_index = 0
         self._prealloc_pages = 0
         self._logged_images.clear()
+        self._note_checkpoint(started_ns, len(pages))
         return len(pages)
 
     def frame_count(self) -> int:

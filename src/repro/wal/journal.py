@@ -115,6 +115,7 @@ class RollbackJournalBackend(WalBackend):
             # 3. commit point: invalidate the journal
             self.journal_file.truncate(0)
             self.journal_file.fsync()
+        self.note_occupancy()
 
     # ------------------------------------------------------------------
     # recovery
@@ -182,6 +183,7 @@ class RollbackJournalBackend(WalBackend):
 
     def checkpoint(self) -> int:
         """No-op: journal mode has no log to migrate."""
+        self._note_checkpoint(self.system.clock.now_ns, 0)
         return 0
 
     def frame_count(self) -> int:

@@ -298,6 +298,7 @@ class NvwalBackend(WalBackend):
             self._logged_images[frame.page_no] = frame.apply_to(base)
         if commit and self.on_commit is not None:
             self.on_commit([frames])
+        self.note_occupancy()
 
     def _write_commit_mark(
         self, last_frame_addr: int, checksum: int, explicit: bool
@@ -445,6 +446,7 @@ class NvwalBackend(WalBackend):
         self._write_epoch_close(epoch.last_addr, epoch.last_checksum, explicit)
         if self.on_commit is not None:
             self.on_commit(epoch.txn_frames)
+        self.note_occupancy()
         return epoch.txns
 
     def _flush_coalesced(self, ptrs: list[tuple[int, int]]) -> None:
@@ -823,6 +825,7 @@ class NvwalBackend(WalBackend):
             raise TransactionError(
                 "cannot checkpoint while a group-commit epoch is open"
             )
+        started_ns = self.system.clock.now_ns
         pages = sorted(self._logged_images)
         page_size = self.system.page_size
         for pno in pages:
@@ -849,6 +852,7 @@ class NvwalBackend(WalBackend):
         self._logged_images.clear()
         self._frame_count = 0
         self._link_addr = self._root.addr + _ROOT_FIRST_BLOCK_OFFSET
+        self._note_checkpoint(started_ns, len(pages))
         return len(pages)
 
     # ------------------------------------------------------------------

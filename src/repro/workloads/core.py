@@ -222,10 +222,16 @@ def apply_txn(workload: Workload, db, txn: Txn, model=None) -> list[str]:
     transaction's own earlier writes, exactly like the engine.
     """
     violations: list[str] = []
+    telemetry = db.system.telemetry
+    clock = db.system.clock
 
     def run_ops() -> None:
         for op in txn:
+            op_start = clock.now_ns
             actual = workload.apply_op(db, op)
+            telemetry.histogram(f"workload.op.{op[0]}_ns").observe(
+                int(clock.now_ns - op_start)
+            )
             if model is not None:
                 expected = workload.expected_read(model, op)
                 if expected is not None and sorted(actual) != list(expected):
@@ -248,10 +254,16 @@ def apply_txn_grouped(workload: Workload, db, txn: Txn, model=None) -> list[str]
     transaction joins the open epoch and only becomes durable when the
     caller closes it with ``db.flush_group()``."""
     violations: list[str] = []
+    telemetry = db.system.telemetry
+    clock = db.system.clock
     db.begin()
     try:
         for op in txn:
+            op_start = clock.now_ns
             actual = workload.apply_op(db, op)
+            telemetry.histogram(f"workload.op.{op[0]}_ns").observe(
+                int(clock.now_ns - op_start)
+            )
             if model is not None:
                 expected = workload.expected_read(model, op)
                 if expected is not None and sorted(actual) != list(expected):

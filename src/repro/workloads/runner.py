@@ -109,6 +109,7 @@ def run_one(config: RunConfig) -> dict:
 
     model = workload.initial_model()
     latencies: list[int] = []
+    txn_hist = system.telemetry.histogram("workload.txn_ns")
     reads = 0
     start_ns = system.clock.now_ns
     for i, txn in enumerate(txns):
@@ -120,6 +121,7 @@ def run_one(config: RunConfig) -> dict:
         else:
             violations.extend(apply_txn(workload, db, txn, model))
         latencies.append(system.clock.now_ns - txn_start)
+        txn_hist.observe(int(system.clock.now_ns - txn_start))
         reads += sum(
             1 for op in txn if workload.expected_read(model, op) is not None
         )

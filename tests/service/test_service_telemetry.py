@@ -1,0 +1,104 @@
+"""Structured state-transition events: breaker, service mode, chaos."""
+
+from __future__ import annotations
+
+from repro.hw.clock import SimClock
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.service.chaos import make_scenario, run_chaos
+
+
+class TestBreakerEvents:
+    def test_trip_emits_failure_threshold(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(clock, failure_threshold=2)
+        breaker.record_failure()
+        assert breaker.events == []  # below threshold: no transition
+        clock.advance_to(10)
+        breaker.record_failure()
+        assert breaker.events == [(CLOSED, OPEN, "failure_threshold", 10)]
+        assert breaker.trips == 1
+
+    def test_cooldown_elapse_is_observed_once(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(clock, failure_threshold=1, cooldown_ns=100)
+        breaker.record_failure()
+        clock.advance_to(500)
+        assert breaker.allow_probe()
+        assert breaker.allow_probe()  # second look adds nothing
+        assert breaker.events == [
+            (CLOSED, OPEN, "failure_threshold", 0),
+            (OPEN, HALF_OPEN, "cooldown_elapsed", 500),
+        ]
+
+    def test_probe_failure_reopens(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(clock, failure_threshold=1, cooldown_ns=100)
+        breaker.record_failure()
+        clock.advance_to(200)
+        assert breaker.allow_probe()
+        breaker.record_failure()  # the half-open probe failed
+        assert breaker.events[-1] == (HALF_OPEN, OPEN, "probe_failed", 200)
+        assert breaker.trips == 1  # renewed cooldown, not a new outage
+
+    def test_probe_success_closes(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(clock, failure_threshold=1, cooldown_ns=100)
+        breaker.record_failure()
+        clock.advance_to(150)
+        breaker.record_success()
+        assert breaker.events == [
+            (CLOSED, OPEN, "failure_threshold", 0),
+            (OPEN, HALF_OPEN, "cooldown_elapsed", 150),
+            (HALF_OPEN, CLOSED, "probe_success", 150),
+        ]
+        assert breaker.state == CLOSED
+
+    def test_success_while_closed_is_silent(self):
+        breaker = CircuitBreaker(SimClock())
+        breaker.record_success()
+        assert breaker.events == []
+
+    def test_on_event_callback_receives_transitions(self):
+        seen = []
+        breaker = CircuitBreaker(
+            SimClock(), failure_threshold=1, on_event=lambda *e: seen.append(e)
+        )
+        breaker.record_failure()
+        assert seen == breaker.events
+
+
+class TestChaosTelemetryEvents:
+    def test_storm_run_emits_breaker_and_mode_events(self):
+        # Media storms trip the breaker mid-run; maintenance heals and
+        # re-promotes.  The full transition story must appear both in
+        # service.mode_events and in the telemetry event stream.
+        scenario = make_scenario(
+            seed=7,
+            sessions=3,
+            txns=10,
+            storms=1,
+            faults=("power", "media"),
+            group_commit=True,
+        )
+        outcome = run_chaos(scenario)
+        assert outcome.violations == ()
+        telemetry = outcome.summary["telemetry"]
+        assert telemetry["enabled"]
+        assert telemetry["samples"] > 0
+        assert len(telemetry["digest"]) == 64
+        counters = telemetry["counters"]
+        if counters.get("service.breaker_trips", 0):
+            # Trips imply a demotion and (healed) a promotion, and the
+            # event stream carries the same story.
+            assert counters["service.demotions"] >= 1
+            assert counters["service.promotions"] >= 1
+
+    def test_chaos_summary_always_carries_telemetry(self):
+        scenario = make_scenario(seed=1, sessions=2, txns=6)
+        summary = run_chaos(scenario).summary
+        telemetry = summary["telemetry"]
+        assert telemetry["enabled"]
+        assert telemetry["counters"]["service.txns_acked"] == summary["acked"]
+        assert telemetry["histograms"]["service.commit_latency_ns"][
+            "count"
+        ] == summary["acked"]

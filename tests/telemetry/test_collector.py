@@ -1,0 +1,68 @@
+"""Collector daemon on the cooperative scheduler."""
+
+from __future__ import annotations
+
+from repro.hw.clock import SimClock
+from repro.service.sched import Scheduler
+from repro.telemetry.collector import Collector
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _busy_job(counter, ticks: int, step_ns: int):
+    for _ in range(ticks):
+        yield step_ns
+        counter.inc()
+
+
+def test_daemon_samples_at_interval():
+    clock = SimClock()
+    registry = MetricsRegistry(clock)
+    counter = registry.counter("work.ticks")
+    collector = Collector(registry, interval_ns=1_000)
+    scheduler = Scheduler(clock)
+    scheduler.spawn("worker", _busy_job(counter, 10, 1_000))
+    scheduler.spawn("collector", collector.daemon(), daemon=True)
+    scheduler.run()
+    assert collector.samples, "daemon never sampled"
+    t_values = [s["t_ns"] for s in collector.samples]
+    assert t_values == sorted(t_values)
+    # The counter's sampled values are non-decreasing and end at 10.
+    counts = [s["counters"]["work.ticks"] for s in collector.samples]
+    assert counts == sorted(counts)
+    assert counts[-1] <= 10
+    collector.sample()
+    assert collector.samples[-1]["counters"]["work.ticks"] == 10
+
+
+def test_sample_cap_counts_drops():
+    registry = MetricsRegistry(SimClock())
+    collector = Collector(registry, max_samples=2)
+    for _ in range(5):
+        collector.sample()
+    assert len(collector.samples) == 2
+    assert collector.dropped == 3
+    assert collector.series()["dropped"] == 3
+
+
+def test_disabled_registry_yields_no_samples():
+    registry = MetricsRegistry(SimClock(), enabled=False)
+    collector = Collector(registry)
+    collector.sample()
+    assert collector.samples == []
+
+
+def test_collector_does_not_change_job_timing():
+    def run(with_collector: bool) -> tuple:
+        clock = SimClock()
+        registry = MetricsRegistry(clock)
+        counter = registry.counter("work.ticks")
+        scheduler = Scheduler(clock)
+        scheduler.spawn("w1", _busy_job(counter, 7, 1_300))
+        scheduler.spawn("w2", _busy_job(counter, 5, 2_100))
+        if with_collector:
+            collector = Collector(registry, interval_ns=500)
+            scheduler.spawn("collector", collector.daemon(), daemon=True)
+        scheduler.run()
+        return clock.now_ns, counter.value
+
+    assert run(True) == run(False)

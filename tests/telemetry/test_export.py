@@ -1,0 +1,98 @@
+"""Export document: canonical encoding, digests, schema validation."""
+
+from __future__ import annotations
+
+import json
+
+from repro.hw.clock import SimClock
+from repro.telemetry.collector import Collector
+from repro.telemetry.export import (
+    build_export,
+    canonical_json,
+    export_digest,
+    load_export,
+    validate_export,
+    write_export,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _small_doc() -> dict:
+    clock = SimClock()
+    registry = MetricsRegistry(clock)
+    registry.counter("service.txns_acked").inc(3)
+    registry.gauge("wal.frames").set(7)
+    registry.histogram("service.commit_latency_ns").observe(2_000_000)
+    registry.event("service.mode", old="rw", new="ro", cause="breaker")
+    span = registry.tracer.start("txn")
+    clock.advance_to(1_000)
+    registry.tracer.finish(span)
+    collector = Collector(registry, interval_ns=500)
+    collector.sample()
+    clock.advance_to(2_000)
+    collector.sample()
+    return build_export(registry, collector, meta={"seed": 3})
+
+
+def test_valid_document_passes():
+    assert validate_export(_small_doc()) == []
+
+
+def test_canonical_json_is_stable_and_digestable():
+    doc = _small_doc()
+    assert canonical_json(doc) == canonical_json(_small_doc())
+    assert export_digest(doc) == export_digest(_small_doc())
+    # Canonical means sorted keys + minimal separators.
+    assert ": " not in canonical_json(doc)
+
+
+def test_write_and_load_round_trip(tmp_path):
+    doc = _small_doc()
+    path = tmp_path / "t.json"
+    write_export(doc, str(path))
+    assert load_export(str(path)) == doc
+    # The file is the canonical encoding (CI compares two runs with cmp).
+    assert path.read_text() == canonical_json(doc) + "\n"
+
+
+def test_validator_catches_bad_schema():
+    doc = _small_doc()
+    doc["schema"] = 99
+    assert any("schema" in p for p in validate_export(doc))
+
+
+def test_validator_catches_non_integer_counter():
+    doc = _small_doc()
+    doc["metrics"]["counters"]["service.txns_acked"] = 1.5
+    assert any("must be an int" in p for p in validate_export(doc))
+
+
+def test_validator_catches_histogram_count_mismatch():
+    doc = _small_doc()
+    snap = doc["metrics"]["histograms"]["service.commit_latency_ns"]
+    snap["count"] += 1  # buckets + overflow no longer add up
+    assert any("overflow != count" in p for p in validate_export(doc))
+
+
+def test_validator_catches_non_monotone_series():
+    doc = _small_doc()
+    samples = doc["series"]["samples"]
+    samples[0], samples[1] = samples[1], samples[0]
+    assert any("non-decreasing" in p for p in validate_export(doc))
+
+
+def test_validator_catches_malformed_event():
+    doc = _small_doc()
+    doc["events"].append({"name": "x"})  # missing at_ns
+    assert any("events[" in p for p in validate_export(doc))
+
+
+def test_validator_accepts_null_series():
+    clock = SimClock()
+    doc = build_export(MetricsRegistry(clock), collector=None)
+    assert doc["series"] is None
+    assert validate_export(doc) == []
+
+
+def test_document_is_json_serializable():
+    json.dumps(_small_doc())

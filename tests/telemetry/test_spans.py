@@ -1,0 +1,60 @@
+"""Tracer: deterministic ids, explicit parents, open spans, the cap."""
+
+from __future__ import annotations
+
+from repro.hw.clock import SimClock
+from repro.telemetry.spans import Tracer
+
+
+def test_parent_child_links_and_ids():
+    clock = SimClock()
+    tracer = Tracer(clock)
+    root = tracer.start("txn")
+    clock.advance_to(100)
+    child = tracer.start("admission", parent=root)
+    clock.advance_to(250)
+    tracer.finish(child)
+    tracer.finish(root)
+    assert root.span_id == 1 and child.span_id == 2
+    assert child.parent_id == root.span_id
+    assert root.parent_id == 0
+    assert child.duration_ns() == 150
+    assert root.duration_ns() == 250
+
+
+def test_ids_are_sequential_and_deterministic():
+    def run() -> list[int]:
+        tracer = Tracer(SimClock())
+        return [tracer.start(f"s{i}").span_id for i in range(5)]
+
+    assert run() == [1, 2, 3, 4, 5]
+    assert run() == run()
+
+
+def test_open_span_exports_minus_one():
+    tracer = Tracer(SimClock())
+    span = tracer.start("abandoned")
+    snap = tracer.snapshot()
+    assert snap["open"] == 1
+    assert snap["spans"][0]["end_ns"] == -1
+    assert span.duration_ns() == 0
+    # Only finished spans aggregate into by_name.
+    assert snap["by_name"] == {}
+
+
+def test_cap_drops_deterministically():
+    tracer = Tracer(SimClock(), max_spans=3)
+    spans = [tracer.start(f"s{i}") for i in range(5)]
+    assert tracer.dropped == 2
+    # Dropped starts share the no-op span; finishing it is harmless.
+    tracer.finish(spans[-1])
+    snap = tracer.snapshot()
+    assert snap["count"] == 3 and snap["dropped"] == 2
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(SimClock(), enabled=False)
+    span = tracer.start("x")
+    tracer.finish(span)
+    assert tracer.snapshot()["count"] == 0
+    assert span.span_id == 0
