@@ -1,0 +1,15 @@
+"""Durable segment archive: the NVWAL cold store on simulated ext4.
+
+NVWAL keeps the latency-critical ack path in NVRAM; NVLog
+(arXiv:2408.02911) fronts a slower disk path with that NVM log.  This
+package is the disk side of that hybrid: sealed replication epochs spill
+from the in-memory :class:`~repro.replication.ship.ShippingLog` into
+CRC-guarded segment files on :mod:`repro.storage` ext4, where they serve
+follower reseeds and survive primary power loss.
+
+See :mod:`repro.archive.store` for the mechanics.
+"""
+
+from repro.archive.store import ArchiveConfig, SegmentArchive
+
+__all__ = ["ArchiveConfig", "SegmentArchive"]

@@ -7,7 +7,11 @@ and promises on top of it, per durability mode:
 * **replication lag** — seal-to-apply delay of each shipped epoch on
   each follower (mean / p95 / max, microseconds of simulated time);
 * **failover time** — primary power cut to promoted-follower ready,
-  plus the delay until the first post-failover acknowledgement.
+  plus the delay until the first post-failover acknowledgement;
+* **cold-store probes** — how reseeds were served (archived segments on
+  disk vs a live snapshot of the primary), how much the archive GC
+  reclaimed, and the in-memory shipping-log high-water mark the archive
+  keeps bounded.
 
 Every cell runs the full replication-consistency oracle under channel
 storms (drop/duplicate/reorder/corrupt) with a scripted writer kill —
@@ -57,6 +61,26 @@ def _aggregate(results) -> dict:
         if first_acks
         else 0.0,
         "violations": sum(len(r["violations"]) for r in results),
+    } | _archive_probes(results)
+
+
+def _archive_probes(results) -> dict:
+    """Cold-store aggregates across one mode's seeds (zeros when off)."""
+    archives = [r["archive"] for r in results if r.get("archive")]
+    return {
+        "reseeds_from_archive": sum(
+            a["reseeds_from_archive"] for a in archives
+        ),
+        "reseeds_from_snapshot": sum(
+            a["reseeds_from_snapshot"] for a in archives
+        ),
+        "archive_gc_segments": sum(a["gc_segments"] for a in archives),
+        "archive_gc_bytes": sum(a["gc_bytes"] for a in archives),
+        "archive_bytes": sum(a["bytes"] for a in archives),
+        "archive_io_faults": sum(a["io_faults"] for a in archives),
+        "peak_log_entries": max(
+            (a["peak_log_entries"] for a in archives), default=0
+        ),
     }
 
 
@@ -85,7 +109,10 @@ def run(quick: bool = False, jobs: int = 1) -> Report:
         rows.append([
             mode, agg["acked"], agg["promotions"], agg["ship_faults"],
             agg["lag_mean_us"], agg["lag_p95_us"], agg["failover_ms"],
-            agg["first_ack_after_failover_ms"], agg["violations"],
+            agg["first_ack_after_failover_ms"],
+            f"{agg['reseeds_from_archive']}/{agg['reseeds_from_snapshot']}",
+            agg["archive_gc_segments"], agg["peak_log_entries"],
+            agg["violations"],
         ])
     with open(OUT_FILE, "w", encoding="utf-8") as fh:
         json.dump(
@@ -107,16 +134,19 @@ def run(quick: bool = False, jobs: int = 1) -> Report:
             Table(
                 ["mode", "acked", "promotions", "ship faults",
                  "lag mean (us)", "lag p95 (us)", "failover (ms)",
-                 "first ack after failover (ms)", "violations"],
+                 "first ack after failover (ms)", "reseeds (disk/live)",
+                 "gc segs", "log peak", "violations"],
                 rows,
             )
         ],
         notes=[
             f"Tuna profile; {sessions} sessions x {len(seeds)} seeds, "
             f"{txns} txns/seed, NVWAL UH+LS+Diff, 2 followers.",
-            "Channel storm (drop/dup/reorder/corrupt) + writer kill +",
-            "one follower kill in every cell; the replication oracle",
-            "must report 0 violations.",
+            "Channel storm (drop/dup/reorder/corrupt) + cold-store I/O",
+            "faults + writer kill + one follower kill in every cell; the",
+            "replication oracle must report 0 violations.",
+            "Reseeds (disk/live): follower catch-ups served from archived",
+            "segment files vs a live snapshot of the primary's pages.",
             f"Snapshot written to {OUT_FILE}.",
         ],
     )

@@ -85,12 +85,19 @@ class ShipFaultSpec:
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """One seeded fault scenario for a whole simulated machine."""
+    """One seeded fault scenario for a whole simulated machine.
+
+    ``io`` targets the machine's primary block device (the WAL/database
+    volume); ``archive_io`` targets the segment-archive cold-store device
+    (:mod:`repro.archive`) independently, so chaos storms can hammer the
+    disk tier without touching the NVWAL fast path — and vice versa.
+    """
 
     seed: int = 0
     media: MediaFaultSpec | None = None
     io: IoFaultSpec | None = None
     ship: ShipFaultSpec | None = None
+    archive_io: IoFaultSpec | None = None
 
     def to_json(self) -> dict:
         """Plain-dict form for trace files."""
@@ -99,6 +106,7 @@ class FaultPlan:
             "media": asdict(self.media) if self.media else None,
             "io": asdict(self.io) if self.io else None,
             "ship": asdict(self.ship) if self.ship else None,
+            "archive_io": asdict(self.archive_io) if self.archive_io else None,
         }
 
     @classmethod
@@ -109,4 +117,7 @@ class FaultPlan:
             media=MediaFaultSpec(**data["media"]) if data.get("media") else None,
             io=IoFaultSpec(**data["io"]) if data.get("io") else None,
             ship=ShipFaultSpec(**data["ship"]) if data.get("ship") else None,
+            archive_io=IoFaultSpec(**data["archive_io"])
+            if data.get("archive_io")
+            else None,
         )

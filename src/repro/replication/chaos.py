@@ -26,9 +26,20 @@ truncates the model to the promotion watermark; released epochs above
 it are checked against the ack records (who held them durable) before
 being declared legitimately lost.
 
-``sabotage=True`` plants the planted-bug self-test: followers skip
-segment verification and the primary ships one deliberately torn
-segment — the oracle must catch the divergence.
+With the segment archive enabled (the default), the same storms also
+exercise the cold store: sealed epochs spill to ext4 segment files,
+power cuts land mid-archive-write, GC races slow followers, and
+post-failover catch-up reseeds from disk.  Two archive-specific oracles
+ride along: every GC'd epoch must be at or below ``min(live fleet's
+durable cursor, checkpoint floor)`` (``gc-premature`` otherwise), and a
+caught-up follower's pages must be *byte-identical* to the primary's —
+reseed-from-disk is held to the same standard as live snapshot reseed.
+
+``sabotage`` plants a planted-bug self-test the oracle must catch:
+``"torn"`` — followers skip segment verification and the primary ships
+one deliberately torn segment; ``"gc"`` — the archive GC ignores
+follower cursors and the floor (trimming epochs a follower still
+needs).  The legacy boolean form maps to ``"torn"``.
 """
 
 from __future__ import annotations
@@ -37,7 +48,7 @@ import random
 from dataclasses import dataclass, field, replace
 
 from repro.errors import PowerFailure
-from repro.faults import FaultPlan, ShipFaultSpec
+from repro.faults import FaultPlan, IoFaultSpec, ShipFaultSpec
 from repro.replication.cluster import Cluster, ReplicationConfig
 from repro.service.chaos import _session_stream
 from repro.service.sched import Scheduler
@@ -75,8 +86,17 @@ class ReplicationScenario:
     writer_kill_ns: int = 0
     #: ((follower_idx, down_ns, up_ns), ...); up_ns 0 = stays down.
     follower_kills: tuple = ()
-    sabotage: bool = False
+    #: "" (off), "torn" (torn-segment + lenient followers), or "gc"
+    #: (GC-past-durable-cursor bug in the archive trim).
+    sabotage: str = ""
     read_interval_ns: int = 600_000
+    #: The ext4 cold store; False runs the legacy memory-resident mode.
+    archive: bool = True
+    #: Aggressive cadences (vs the production defaults) so short storms
+    #: still roll files, advance the floor, and GC.
+    archive_epochs_per_file: int = 4
+    archive_snapshot_every: int = 12
+    archive_gc_every: int = 4
     checkpoint_threshold: int = 48
     group_commit: bool = True
     #: budget for followers to reach the head after the clients drain.
@@ -94,15 +114,18 @@ class ReplicationOutcome:
 
 
 def build_ship_plan(seed: int, faults) -> FaultPlan | None:
-    """The standard shipping-channel fault plan.
+    """The standard replication fault plan.
 
-    Rates are aggressive — a third of batches suffer *something* — but
-    every fault is absorbable: drops are consecutive-capped so resends
-    always land, duplicates and reorders are no-ops against the seq
-    cursor, and corruption is rejected by segment verification.
+    Channel rates are aggressive — a third of batches suffer
+    *something* — but every fault is absorbable: drops are
+    consecutive-capped so resends always land, duplicates and reorders
+    are no-ops against the seq cursor, and corruption is rejected by
+    segment verification.  The ``"archive"`` kind adds transient I/O
+    errors on the cold-store device, absorbed by the filesystem's
+    bounded retry.
     """
     faults = set(faults)
-    unknown = faults - {"drop", "dup", "reorder", "corrupt"}
+    unknown = faults - {"drop", "dup", "reorder", "corrupt", "archive"}
     if unknown:
         raise ValueError(f"unknown ship fault kinds: {sorted(unknown)}")
     if not faults:
@@ -113,7 +136,23 @@ def build_ship_plan(seed: int, faults) -> FaultPlan | None:
         reorder_rate=0.20 if "reorder" in faults else 0.0,
         corrupt_rate=0.08 if "corrupt" in faults else 0.0,
     )
-    return FaultPlan(seed=seed, ship=spec)
+    archive_io = (
+        IoFaultSpec(read_error_rate=0.04, write_error_rate=0.04)
+        if "archive" in faults
+        else None
+    )
+    return FaultPlan(seed=seed, ship=spec, archive_io=archive_io)
+
+
+def _sabotage_kind(value) -> str:
+    """Normalize the sabotage field (legacy bool traces map to torn)."""
+    if value is True:
+        return "torn"
+    if value is False or value is None:
+        return ""
+    if value not in ("", "torn", "gc"):
+        raise ValueError(f"unknown sabotage kind {value!r}")
+    return value
 
 
 def make_scenario(
@@ -124,11 +163,12 @@ def make_scenario(
     scheme: str = "uh_ls_diff",
     mode: str = "semisync",
     followers: int = 2,
-    faults=("drop", "dup", "reorder", "corrupt"),
+    faults=("drop", "dup", "reorder", "corrupt", "archive"),
     writer_kill: bool = False,
     follower_kills: int = 0,
-    sabotage: bool = False,
+    sabotage="",
     group_commit: bool = True,
+    archive: bool = True,
 ) -> ReplicationScenario:
     """Build a scenario; kill times are placed by a clean profiling run.
 
@@ -151,8 +191,9 @@ def make_scenario(
         streams=streams,
         followers=followers,
         plan=build_ship_plan(seed, faults),
-        sabotage=sabotage,
+        sabotage=_sabotage_kind(sabotage),
         group_commit=group_commit,
+        archive=archive,
     )
     if not writer_kill and follower_kills <= 0:
         return scenario
@@ -186,7 +227,7 @@ def make_scenario(
 def _measure_duration(scenario: ReplicationScenario) -> int:
     """Simulated duration of the kill-free run (kill-point space)."""
     probe = replace(
-        scenario, writer_kill_ns=0, follower_kills=(), sabotage=False
+        scenario, writer_kill_ns=0, follower_kills=(), sabotage=""
     )
     driver = _Driver(probe)
     driver.run()
@@ -234,6 +275,9 @@ class _Driver:
         self.follower_restarts = 0
         self.follower_reads = 0
         self.stale_reads = 0
+        self.gc_deleted = 0
+        self.gc_events = 0
+        self.floor_advances = 0
         self.stats_total: dict[str, int] = {}
         self.failover_ms: float | None = None
         self.first_ack_after_failover_ms: float | None = None
@@ -275,6 +319,35 @@ class _Driver:
 
     def _on_apply(self, session_id: str, ops) -> None:
         self.applied_tail.append((session_id, ops))
+
+    def _on_snapshot(self, seq: int) -> None:
+        self.floor_advances += 1
+
+    def _on_gc(self, deleted_seqs, snap_seqs, limit) -> None:
+        """GC oracle: nothing a live follower needs — and nothing above
+        the checkpoint floor — is ever deleted."""
+        self.gc_events += 1
+        self.gc_deleted += len(deleted_seqs)
+        if not deleted_seqs:
+            return
+        live = [
+            f
+            for f in self.cluster.followers
+            if f.alive and f.role == "follower"
+        ]
+        min_cursor = min((f.durable_seq for f in live), default=None)
+        floor = self.cluster.archive.floor if self.cluster.archive else None
+        worst = max(deleted_seqs)
+        if min_cursor is not None and worst > min_cursor:
+            self.violations.append(
+                f"gc-premature: archived epoch {worst} deleted while a "
+                f"live follower's durable cursor is {min_cursor}"
+            )
+        elif floor is not None and worst > floor:
+            self.violations.append(
+                f"gc-premature: archived epoch {worst} deleted above the "
+                f"checkpoint floor {floor}"
+            )
 
     # -- read oracles --------------------------------------------------
 
@@ -528,6 +601,32 @@ class _Driver:
                     f"state ({len(frows)} rows) != sealed history at seq "
                     f"{head} ({len(expected)} rows)"
                 )
+                continue
+            # Byte-identity: however this follower got here — live
+            # entries, archived epochs, floor snapshot + roll-forward,
+            # or a legacy live snapshot — its pages must equal the
+            # primary's bit for bit.
+            primary_pager = self.cluster.db.pager
+            pager = node.db.pager
+            if pager.n_pages != primary_pager.n_pages:
+                self.violations.append(
+                    f"replica-divergence: follower {node.node_id} has "
+                    f"{pager.n_pages} pages, primary has "
+                    f"{primary_pager.n_pages}"
+                )
+                continue
+            torn_pages = [
+                pno
+                for pno in range(1, primary_pager.n_pages + 1)
+                if bytes(pager.page_image(pno))
+                != bytes(primary_pager.page_image(pno))
+            ]
+            if torn_pages:
+                self.violations.append(
+                    f"replica-divergence: follower {node.node_id} pages "
+                    f"{torn_pages[:8]} are not byte-identical to the "
+                    "primary's"
+                )
 
     # -- main loop -----------------------------------------------------
 
@@ -539,13 +638,21 @@ class _Driver:
                 mode=sc.mode,
                 scheme=sc.scheme,
                 checkpoint_threshold=sc.checkpoint_threshold,
-                lenient_followers=sc.sabotage,
-                sabotage_seq=2 if sc.sabotage else 0,
+                lenient_followers=sc.sabotage == "torn",
+                sabotage_seq=2 if sc.sabotage == "torn" else 0,
+                archive=sc.archive,
+                archive_epochs_per_file=sc.archive_epochs_per_file,
+                archive_snapshot_every=sc.archive_snapshot_every,
+                archive_gc_every=sc.archive_gc_every,
+                gc_sabotage=sc.sabotage == "gc",
             ),
             seed=sc.seed,
             ship_spec=sc.plan.ship if sc.plan is not None else None,
             on_seal=self._on_seal,
             on_release=self._on_release,
+            archive_io_spec=sc.plan.archive_io if sc.plan is not None else None,
+            on_gc=self._on_gc,
+            on_snapshot=self._on_snapshot,
         )
         self.cluster = cluster
         self.clock = cluster.clock
@@ -674,6 +781,35 @@ class _Driver:
                 counts["corrupted"] += injector.corrupted
         return counts
 
+    def _archive_summary(self) -> dict | None:
+        cluster = self.cluster
+        if cluster is None or cluster.archive is None:
+            return None
+        archive = cluster.archive
+        from_archive, from_snapshot = cluster.reseed_counts()
+        injector = (
+            cluster.archive_device.fault_injector
+            if cluster.archive_device is not None
+            else None
+        )
+        return {
+            "files": archive.files_count,
+            "bytes": archive.bytes_total,
+            "head": archive.head,
+            "min_seq": archive.min_seq,
+            "floor": archive.floor,
+            "gc_events": self.gc_events,
+            "gc_segments": archive.gc_segments,
+            "gc_bytes": archive.gc_bytes,
+            "snapshots": archive.snapshots_written,
+            "floor_fallbacks": archive.floor_fallbacks,
+            "floor_advances": self.floor_advances,
+            "io_faults": injector.injected if injector is not None else 0,
+            "reseeds_from_archive": from_archive,
+            "reseeds_from_snapshot": from_snapshot,
+            "peak_log_entries": cluster.log_peak(),
+        }
+
     def _outcome(self) -> ReplicationOutcome:
         lag = sorted(self.cluster.lag_samples()) if self.cluster else []
         summary = {
@@ -700,6 +836,7 @@ class _Driver:
             "lag_max_us": (lag[-1] / 1e3) if lag else 0.0,
             "failover_ms": self.failover_ms,
             "first_ack_after_failover_ms": self.first_ack_after_failover_ms,
+            "archive": self._archive_summary(),
             "sim_time_ms": int((self.clock.now_ns - self.start_ns) // 1_000_000)
             if self.clock
             else 0,
@@ -753,6 +890,10 @@ def scenario_to_dict(scenario: ReplicationScenario) -> dict:
         "group_commit": scenario.group_commit,
         "settle_ns": scenario.settle_ns,
         "deadline_ns": scenario.deadline_ns,
+        "archive": scenario.archive,
+        "archive_epochs_per_file": scenario.archive_epochs_per_file,
+        "archive_snapshot_every": scenario.archive_snapshot_every,
+        "archive_gc_every": scenario.archive_gc_every,
     }
 
 
@@ -771,12 +912,18 @@ def scenario_from_dict(data: dict) -> ReplicationScenario:
         follower_kills=tuple(
             tuple(kill) for kill in data.get("follower_kills", ())
         ),
-        sabotage=data.get("sabotage", False),
+        sabotage=_sabotage_kind(data.get("sabotage", "")),
         read_interval_ns=data.get("read_interval_ns", 600_000),
         checkpoint_threshold=data.get("checkpoint_threshold", 48),
         group_commit=data.get("group_commit", True),
         settle_ns=data.get("settle_ns", 60_000_000),
         deadline_ns=data.get("deadline_ns", 4_000_000_000),
+        # Traces recorded before the cold store existed replay in the
+        # mode they ran in: archive off.
+        archive=data.get("archive", False),
+        archive_epochs_per_file=data.get("archive_epochs_per_file", 4),
+        archive_snapshot_every=data.get("archive_snapshot_every", 12),
+        archive_gc_every=data.get("archive_gc_every", 4),
     )
 
 
@@ -796,11 +943,12 @@ class ReplicationTask:
     scheme: str = "rotate"
     mode: str = "rotate"
     followers: int = 2
-    faults: tuple = ("drop", "dup", "reorder", "corrupt")
+    faults: tuple = ("drop", "dup", "reorder", "corrupt", "archive")
     writer_kill: bool = False
     follower_kills: int = 0
-    sabotage: bool = False
+    sabotage: str = ""
     group_commit: bool = True
+    archive: bool = True
 
 
 def run_task(task: ReplicationTask) -> dict:
@@ -824,6 +972,7 @@ def run_task(task: ReplicationTask) -> dict:
         follower_kills=task.follower_kills,
         sabotage=task.sabotage,
         group_commit=task.group_commit,
+        archive=task.archive,
     )
     outcome = run_replication_chaos(scenario)
     result = dict(outcome.summary)

@@ -11,6 +11,9 @@ Examples::
     # prove the oracle catches a torn segment past the integrity check
     python -m repro.replication --seeds 3 --sabotage
 
+    # prove the GC oracle catches a cold store trimming live segments
+    python -m repro.replication --seeds 3 --sabotage gc --writer-kill
+
     # replay a recorded failing trace
     python -m repro.replication --replay replication-traces/minimized-1.json
 
@@ -81,9 +84,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--faults",
-        default="drop,dup,reorder,corrupt",
-        help="comma list of shipping-channel faults: drop,dup,reorder,"
-        "corrupt ('none' for a clean channel)",
+        default="drop,dup,reorder,corrupt,archive",
+        help="comma list of faults: drop,dup,reorder,corrupt on the "
+        "shipping channel, 'archive' for transient I/O errors on the "
+        "cold-store volume ('none' for a clean run)",
     )
     parser.add_argument(
         "--writer-kill",
@@ -112,11 +116,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--replay", metavar="TRACE", help="replay one recorded trace and exit"
     )
     parser.add_argument(
-        "--sabotage",
+        "--no-archive",
         action="store_true",
-        help="self-test: followers skip segment verification and the "
-        "primary ships one deliberately torn segment; the sweep must "
-        "find, minimize, and deterministically replay the divergence",
+        help="disable the ext4 cold store: keep every sealed epoch in "
+        "memory and reseed followers from live snapshot segments",
+    )
+    parser.add_argument(
+        "--sabotage",
+        nargs="?",
+        const="torn",
+        default="",
+        choices=["torn", "gc"],
+        help="self-test: plant a bug the sweep must find, minimize, and "
+        "deterministically replay.  'torn' (the bare-flag default) ships "
+        "one deliberately torn segment past lenient followers; 'gc' "
+        "makes the archive trim past the follower fleet's durable "
+        "cursor, so a reseed after failover comes up short",
     )
     parser.add_argument(
         "--no-minimize",
@@ -213,6 +228,7 @@ def main(argv=None) -> int:
             follower_kills=args.follower_kills,
             sabotage=args.sabotage,
             group_commit=not args.no_group_commit,
+            archive=not args.no_archive,
         )
         for seed in range(args.seeds)
     ]
@@ -222,8 +238,9 @@ def main(argv=None) -> int:
         f"mode={args.mode}, followers={args.followers}, "
         f"faults={','.join(faults) if faults else 'none'}, "
         f"writer_kill={'yes' if args.writer_kill else 'no'}, "
-        f"follower_kills={args.follower_kills}, jobs={args.jobs}"
-        + (", SABOTAGE" if args.sabotage else "")
+        f"follower_kills={args.follower_kills}, "
+        f"archive={'no' if args.no_archive else 'yes'}, jobs={args.jobs}"
+        + (f", SABOTAGE({args.sabotage})" if args.sabotage else "")
     )
     results = parallel_map(run_task, tasks, jobs=args.jobs)
     failures: list[dict] = []
@@ -253,11 +270,14 @@ def main(argv=None) -> int:
     print(f"result digest: sha256:{digest}")
 
     if args.sabotage:
+        planted = (
+            "torn segment" if args.sabotage == "torn" else "premature GC"
+        )
         if not failures:
-            print("sabotage self-test FAILED: the torn segment went undetected")
+            print(f"sabotage self-test FAILED: the {planted} went undetected")
             return 1
         print(
-            f"sabotage self-test: torn segment detected in "
+            f"sabotage self-test: {planted} detected in "
             f"{len(failures)} seed(s)"
         )
         return 0 if _minimize_and_verify(failures[0], args.trace_dir) else 1

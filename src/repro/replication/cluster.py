@@ -30,14 +30,19 @@ from dataclasses import dataclass
 
 from repro.config import tuna
 from repro.db.database import Database
+from repro.faults.inject import BlockIoFaultInjector
 from repro.hw.clock import SimClock
+from repro.hw.stats import Stats
 from repro.replication.node import FollowerNode
 from repro.replication.segment import FLAG_SNAPSHOT, Segment
 from repro.replication.ship import Replicator, ReplicatorConfig, ShippingLog
 from repro.service.server import DatabaseService
+from repro.storage.blockdev import BlockDevice
+from repro.storage.ext4 import Ext4FileSystem
 from repro.system import System
 from repro.torture.driver import SCHEMES
 from repro.torture.workload import TABLE
+from repro.wal.frames import NvFrame
 from repro.wal.nvwal import NvwalBackend
 
 _CREATE_SQL = f"CREATE TABLE {TABLE} (k INTEGER PRIMARY KEY, v TEXT)"
@@ -59,6 +64,17 @@ class ReplicationConfig:
     #: tears the wire blob of the first eligible epoch at/after this seq.
     lenient_followers: bool = False
     sabotage_seq: int = 0
+    #: The ext4 cold store.  On by default: sealed epochs spill to
+    #: segment files, reseeds come from disk, and the in-memory shipping
+    #: log stays bounded.  ``archive=False`` is the legacy memory-resident
+    #: mode (live snapshot reseed) kept for byte-identity comparison.
+    archive: bool = True
+    archive_epochs_per_file: int = 8
+    archive_sync_every: int = 4
+    archive_snapshot_every: int = 24
+    archive_gc_every: int = 8
+    #: Sabotage: plant a GC-past-durable-cursor bug in the archive trim.
+    gc_sabotage: bool = False
 
 
 class Cluster:
@@ -72,6 +88,9 @@ class Cluster:
         on_seal=None,
         on_release=None,
         profile=None,
+        archive_io_spec=None,
+        on_gc=None,
+        on_snapshot=None,
     ) -> None:
         self.config = config
         self.seed = seed
@@ -83,6 +102,9 @@ class Cluster:
         self.term = 1
         self.promotions = 0
         self.kill_ns: int | None = None
+        #: High-water mark of in-memory shiplog entries across the
+        #: cluster's lifetime (bounded-archive probe).
+        self.peak_log_entries = 0
 
         system = System(profile or tuna(), seed=seed, clock=self.clock)
         wal = NvwalBackend(
@@ -91,6 +113,45 @@ class Cluster:
             checkpoint_threshold=config.checkpoint_threshold,
         )
         db = Database(system, wal=wal, name="primary.db")
+        # The cold store is its own ext4 volume on its own (seeded)
+        # device: archive I/O shares the timeline but never the WAL
+        # device's bandwidth or fault plan.
+        self.archive = None
+        self.archive_device: BlockDevice | None = None
+        if config.archive:
+            # Imported here, not at module top: repro.archive decodes the
+            # shipped-segment wire format, so it imports this package.
+            from repro.archive import ArchiveConfig, SegmentArchive
+
+            self._archive_stats = Stats()
+            self.archive_device = BlockDevice(
+                (profile or tuna()).blockdev,
+                self.clock,
+                self._archive_stats,
+                seed=(seed * 977 + 61) & 0x7FFFFFFF,
+            )
+            if archive_io_spec is not None:
+                self.archive_device.fault_injector = BlockIoFaultInjector(
+                    archive_io_spec, (seed * 53 + 11) & 0x7FFFFFFF
+                )
+            archive_fs = Ext4FileSystem(self.archive_device)
+            archive_fs.format()
+            self.archive = SegmentArchive(
+                archive_fs,
+                self.clock,
+                config=ArchiveConfig(
+                    epochs_per_file=config.archive_epochs_per_file,
+                    sync_every=config.archive_sync_every,
+                    snapshot_every=config.archive_snapshot_every,
+                    gc_every=config.archive_gc_every,
+                ),
+                telemetry=system.telemetry,
+                on_gc=on_gc,
+                on_snapshot=on_snapshot,
+            )
+            # The seq-0 floor: the pristine pre-schema database, so any
+            # follower — however far behind — can be reseeded from disk.
+            self.archive.bootstrap(_pager_frames(db), term=self.term)
         # The shipping log taps the WAL *before* the schema exists, so
         # followers build their entire state — schema included — from
         # the stream alone.
@@ -141,6 +202,8 @@ class Cluster:
             # The *current* primary machine's registry: after a promotion
             # this is the promoted follower's, not the dead machine's.
             telemetry=self.db.system.telemetry,
+            archive=self.archive,
+            gc_sabotage=self.config.gc_sabotage,
         )
 
     # -- service wiring -----------------------------------------------------
@@ -173,13 +236,21 @@ class Cluster:
         return [f for f in self.followers if f.alive and f.role == "follower"]
 
     def kill_primary(self) -> None:
-        """Power-fail the current primary machine."""
+        """Power-fail the current primary machine (and the cold store).
+
+        The archive volume loses its OS page cache and gambles its device
+        cache like any other disk at power loss — buffered epoch appends
+        may tear mid-segment, which is exactly what
+        :meth:`SegmentArchive.recover` must salvage at promotion.
+        """
         self.kill_ns = self.clock.now_ns
         if self.primary_node is not None:
             self.primary_node.alive = False
             self.primary_node.system.power_fail()
         else:
             self.primary_system.power_fail()
+        if self.archive is not None:
+            self.archive.power_fail()
 
     def promote(self):
         """Elect and promote the longest-prefix live follower.
@@ -198,13 +269,25 @@ class Cluster:
         self.term += 1
         self.promotions += 1
         best.become_primary(self.term)
-        snapshot = Segment(
-            seq=watermark,
-            term=self.term,
-            txns=0,
-            frames=best.snapshot_frames(),
-            flags=FLAG_SNAPSHOT,
-        )
+        if self.archive is not None:
+            # Recover the cold store (journal replay + torn-tail
+            # salvage), fence epochs past the watermark, and make sure a
+            # reseed chain through the watermark exists on disk — falling
+            # back to a snapshot of the promoted node's live pages only
+            # when the crash broke the archived chain.
+            self.archive.recover()
+            self.archive.truncate_above(watermark)
+            self.archive.ensure_floor(watermark, self.term, best.snapshot_frames)
+            snapshot = None
+        else:
+            snapshot = Segment(
+                seq=watermark,
+                term=self.term,
+                txns=0,
+                frames=best.snapshot_frames(),
+                flags=FLAG_SNAPSHOT,
+            )
+        self.peak_log_entries = max(self.peak_log_entries, self.shiplog.peak_entries)
         self.shiplog = ShippingLog(
             best.wal, self.clock, base_seq=watermark, on_seal=self.on_seal
         )
@@ -233,3 +316,24 @@ class Cluster:
         for replicator in (*self.retired_replicators, self.replicator):
             samples.extend(replicator.lag_samples)
         return samples
+
+    def log_peak(self) -> int:
+        """Lifetime high-water mark of in-memory shiplog entries."""
+        return max(self.peak_log_entries, self.shiplog.peak_entries)
+
+    def reseed_counts(self) -> tuple[int, int]:
+        """(reseeds from the archive, reseeds from a live snapshot)."""
+        from_archive = from_snapshot = 0
+        for replicator in (*self.retired_replicators, self.replicator):
+            from_archive += replicator.reseeds_from_archive
+            from_snapshot += replicator.reseeds_from_snapshot
+        return from_archive, from_snapshot
+
+
+def _pager_frames(db) -> tuple:
+    """Full page images of a database's current state (state transfer)."""
+    pager = db.pager
+    return tuple(
+        NvFrame(pno, 0, bytes(pager.page_image(pno)), 0, commit=False)
+        for pno in range(1, pager.n_pages + 1)
+    )

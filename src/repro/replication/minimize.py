@@ -38,6 +38,8 @@ def minimize(scenario: ReplicationScenario) -> ReplicationScenario:
         return bool(_codes(candidate) & target)
 
     # Structural simplifications first: each drops a whole dimension.
+    # The cold store is tried last-in-this-group: a gc-sabotage failure
+    # needs it and keeps it; a channel-level failure sheds it.
     for simpler in (
         replace(scenario, plan=None),
         replace(scenario, follower_kills=()),
@@ -46,6 +48,7 @@ def minimize(scenario: ReplicationScenario) -> ReplicationScenario:
         if scenario.followers > 1 and not scenario.follower_kills
         else scenario,
         replace(scenario, group_commit=False),
+        replace(scenario, archive=False) if scenario.archive else scenario,
     ):
         if simpler != scenario and still_fails(simpler):
             scenario = simpler

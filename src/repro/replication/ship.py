@@ -51,7 +51,14 @@ class LogEntry:
 
 
 class ShippingLog:
-    """Capture committed frames from a WAL and seal them into entries."""
+    """Capture committed frames from a WAL and seal them into entries.
+
+    Entries are held decoded in memory until :meth:`evict_through`
+    releases them — the replicator evicts everything already durable in
+    the segment archive, acked, and applied by every live follower, so
+    with the cold store attached the in-memory tail stays bounded at a
+    few epochs (``peak_entries`` records the high-water mark).
+    """
 
     def __init__(self, wal, clock, base_seq: int = 0, on_seal=None) -> None:
         self.clock = clock
@@ -59,6 +66,8 @@ class ShippingLog:
         self.entries: list[LogEntry] = []
         self.on_seal = on_seal
         self._pending: list = []
+        self._evicted = 0
+        self.peak_entries = 0
         wal.on_commit = self._collect
 
     def _collect(self, txn_frames) -> None:
@@ -67,7 +76,7 @@ class ShippingLog:
 
     @property
     def head_seq(self) -> int:
-        return self.base_seq + len(self.entries)
+        return self.base_seq + self._evicted + len(self.entries)
 
     def seal(self, metas) -> LogEntry:
         """Seal everything committed since the last seal as one entry."""
@@ -79,20 +88,30 @@ class ShippingLog:
         )
         self._pending = []
         self.entries.append(entry)
+        self.peak_entries = max(self.peak_entries, len(self.entries))
         if self.on_seal is not None:
             self.on_seal(entry)
         return entry
 
     def entry(self, seq: int) -> LogEntry | None:
-        index = seq - self.base_seq - 1
+        index = seq - self.base_seq - self._evicted - 1
         if 0 <= index < len(self.entries):
             return self.entries[index]
         return None
 
     def window(self, lo_seq: int, hi_seq: int) -> list[LogEntry]:
-        lo = max(0, lo_seq - self.base_seq - 1)
-        hi = hi_seq - self.base_seq
-        return self.entries[lo:hi]
+        lo = max(0, lo_seq - self.base_seq - self._evicted - 1)
+        hi = hi_seq - self.base_seq - self._evicted
+        return self.entries[lo:max(lo, hi)]
+
+    def evict_through(self, seq: int) -> int:
+        """Drop entries up to ``seq`` from memory (archived elsewhere)."""
+        n = min(len(self.entries), seq - self.base_seq - self._evicted)
+        if n <= 0:
+            return 0
+        del self.entries[:n]
+        self._evicted += n
+        return n
 
 
 class Channel:
@@ -155,6 +174,8 @@ class Replicator:
         sabotage_seq: int = 0,
         base_snapshot: Segment | None = None,
         telemetry=None,
+        archive=None,
+        gc_sabotage: bool = False,
     ) -> None:
         if config.mode not in MODES:
             raise ValueError(f"unknown durability mode {config.mode!r}")
@@ -168,6 +189,16 @@ class Replicator:
         #: cluster when the service is built).
         self.service = None
         self.base_snapshot = base_snapshot
+        #: The ext4 cold store (:class:`repro.archive.SegmentArchive`).
+        #: When attached, reseeds come from disk (floor snapshot + epoch
+        #: files) and the in-memory shiplog is evicted behind it.
+        self.archive = archive
+        #: Sabotage: GC ignores follower cursors and the floor (a planted
+        #: GC-past-durable-cursor bug the chaos oracle must catch).
+        self.gc_sabotage = gc_sabotage
+        self._last_gc_head = archive.durable_head if archive is not None else 0
+        self.reseeds_from_archive = 0
+        self.reseeds_from_snapshot = 0
         self.channels = {
             node.node_id: Channel(
                 clock,
@@ -203,6 +234,9 @@ class Replicator:
         self._c_resends = telemetry.counter("repl.resends")
         self._c_snapshots = telemetry.counter("repl.snapshots")
         self._g_released = telemetry.gauge("repl.released_seq")
+        self._c_reseed_archive = telemetry.counter("repl.reseed_from_archive")
+        self._c_reseed_snapshot = telemetry.counter("repl.reseed_from_snapshot")
+        self._t_reseed = telemetry.histogram("archive.reseed_ns")
 
     # -- commit gating ------------------------------------------------------
 
@@ -294,17 +328,115 @@ class Replicator:
             )
         )
 
+    def _available(self, seq: int) -> bool:
+        """Whether the epoch at ``seq`` can still be served from memory
+        or the cold store."""
+        if self.shiplog.entry(seq) is not None:
+            return True
+        return self.archive is not None and self.archive.segment_at(seq) is not None
+
+    def _entry_blob(self, seq: int) -> bytes | None:
+        """Wire blob for one epoch: live entry first, then the archive.
+
+        Archived epochs are re-encoded under the *current* term (same
+        fencing rule as live entries), so a follower catching up from
+        disk cannot be confused with stale pre-failover traffic.
+        """
+        entry = self.shiplog.entry(seq)
+        if entry is not None:
+            return self._encode_entry(entry)
+        if self.archive is None:
+            return None
+        segment = self.archive.segment_at(seq)
+        if segment is None:
+            return None
+        return encode_segment(
+            Segment(
+                seq=segment.seq,
+                term=self.term,
+                txns=segment.txns,
+                frames=segment.frames,
+            )
+        )
+
+    def _catchup_blob(self, node, head: int, stale: bool) -> bytes | None:
+        """Build one send for a behind/stale follower.
+
+        Without a cold store this is the legacy protocol: live snapshot
+        for stale followers, in-memory entry window otherwise.  With the
+        archive attached, a stale follower (or one whose next epoch was
+        GC'd or evicted) is *reset* with the on-disk floor snapshot and
+        then rolled forward with archived epochs — the promoted primary
+        never has to hold a full state transfer in memory.
+        """
+        if self.archive is None:
+            if stale:
+                blob = self._encode_snapshot()
+                if blob is not None:
+                    self._c_snapshots.inc()
+                    self._c_reseed_snapshot.inc()
+                    self.reseeds_from_snapshot += 1
+                return blob
+            lo = node.durable_seq + 1
+            hi = min(head, node.durable_seq + self.config.send_window)
+            return b"".join(
+                self._encode_entry(entry) for entry in self.shiplog.window(lo, hi)
+            )
+        start_ns = self.clock.now_ns
+        cursor = node.durable_seq
+        parts: list[bytes] = []
+        reseeded = False
+        if stale or (cursor < head and not self._available(cursor + 1)):
+            floor = self.archive.floor_segment()
+            if floor is None:
+                # No floor on disk (archive never bootstrapped — or its
+                # snapshot was destroyed): legacy live snapshot if any.
+                blob = self._encode_snapshot()
+                if blob is not None:
+                    self._c_snapshots.inc()
+                    self._c_reseed_snapshot.inc()
+                    self.reseeds_from_snapshot += 1
+                return blob
+            parts.append(
+                encode_segment(
+                    Segment(
+                        seq=floor.seq,
+                        term=self.term,
+                        txns=0,
+                        frames=floor.frames,
+                        flags=FLAG_SNAPSHOT,
+                    )
+                )
+            )
+            cursor = floor.seq
+            reseeded = True
+            self._c_reseed_archive.inc()
+            self.reseeds_from_archive += 1
+        hi = min(head, cursor + self.config.send_window)
+        for seq in range(cursor + 1, hi + 1):
+            blob = self._entry_blob(seq)
+            if blob is None:
+                break
+            parts.append(blob)
+        if reseeded:
+            self._t_reseed.observe(int(self.clock.now_ns - start_ns))
+        return b"".join(parts)
+
     def _pump_sends(self, node, channel: Channel, now_ns: int) -> None:
         head = self.shiplog.head_seq
-        # A follower below the shipping log's base cannot be caught up by
-        # entries (they were truncated at promotion); one whose durable
-        # cursor runs *past* the base under an older term holds divergent
-        # history.  Both need a full snapshot.  A follower sitting exactly
+        # A follower whose durable cursor runs *past* the base under an
+        # older term holds divergent history and needs a full snapshot.
+        # One *below* the base cannot be caught up by in-memory entries
+        # (they were truncated at promotion) — without a cold store that
+        # also takes a snapshot, but the archive serves epochs below the
+        # base from disk, so the follower just climbs; flagging it stale
+        # here would reset it to the floor on every pump and it could
+        # never out-climb the send window.  A follower sitting exactly
         # at the base — including a fresh one at seq 0, term 0 — catches
         # up through ordinary entries, adopting the term as it applies.
-        stale = node.durable_seq < self.shiplog.base_seq or (
+        stale = (
             node.term < self.term and node.durable_seq > self.shiplog.base_seq
-        )
+        ) or (self.archive is None and node.durable_seq < self.shiplog.base_seq)
         if not stale and node.durable_seq >= head:
             return
         idle = channel.pending() == 0
@@ -313,19 +445,9 @@ class Replicator:
         )
         if not idle and not timed_out:
             return
-        if stale:
-            blob = self._encode_snapshot()
-            if blob is None:
-                return
-            self._c_snapshots.inc()
-        else:
-            lo = node.durable_seq + 1
-            hi = min(head, node.durable_seq + self.config.send_window)
-            blob = b"".join(
-                self._encode_entry(entry) for entry in self.shiplog.window(lo, hi)
-            )
-            if not blob:
-                return
+        blob = self._catchup_blob(node, head, stale)
+        if not blob:
+            return
         channel.send(blob)
         self._c_sends.inc()
         if not idle:
@@ -351,8 +473,51 @@ class Replicator:
             self._pump_sends(node, channel, now_ns)
         self._release_ready()
 
+    # -- the cold store -----------------------------------------------------
+
+    def _archive_work(self) -> None:
+        """Spill sealed epochs to the cold store, advance the floor, GC,
+        and bound the in-memory log.
+
+        Runs from the daemon only, never from the commit-path
+        :meth:`tick`: the NVWAL ack path must not wait on disk I/O.
+        """
+        archive = self.archive
+        if archive is None:
+            return
+        while archive.head < self.shiplog.head_seq:
+            entry = self.shiplog.entry(archive.head + 1)
+            if entry is None:
+                break  # unreachable while eviction trails the archive
+            archive.append(
+                Segment(
+                    seq=entry.seq,
+                    term=self.term,
+                    txns=len(entry.metas),
+                    frames=entry.frames,
+                )
+            )
+        archive.maybe_advance_floor(self.term)
+        if archive.durable_head - self._last_gc_head >= archive.config.gc_every:
+            live = self._live()
+            if live or self.gc_sabotage:
+                min_cursor = min(
+                    (node.durable_seq for node in live), default=archive.durable_head
+                )
+                limit_override = self.shiplog.head_seq if self.gc_sabotage else None
+                archive.gc(min_cursor, limit_override)
+            self._last_gc_head = archive.durable_head
+        # Evict what is durable on disk, released to clients, and applied
+        # by every live follower — resends and lag sampling for the live
+        # fleet stay in memory; dead followers catch up from the archive.
+        bound = min(archive.durable_head, self.released_seq)
+        for node in self._live():
+            bound = min(bound, node.durable_seq)
+        self.shiplog.evict_through(bound)
+
     def daemon(self):
         """Scheduler daemon: tick the pump forever."""
         while True:
             yield self.config.poll_ns
             self.tick()
+            self._archive_work()

@@ -74,12 +74,64 @@ class TestOracle:
         assert outcome.summary["acked"] >= 10
 
 
+class TestArchive:
+    def test_archive_summary_reports_cold_store_activity(self):
+        outcome = run_replication_chaos(
+            small_scenario(txns=14, writer_kill=True)
+        )
+        assert outcome.violations == ()
+        archive = outcome.summary["archive"]
+        assert archive is not None
+        assert archive["head"] > 0
+        assert archive["reseeds_from_snapshot"] == 0  # disk serves reseeds
+        assert archive["peak_log_entries"] > 0
+
+    def test_archive_off_matches_legacy_summary(self):
+        outcome = run_replication_chaos(small_scenario(archive=False))
+        assert outcome.violations == ()
+        assert outcome.summary["archive"] is None
+
+    def test_archive_io_faults_are_absorbed(self):
+        outcome = run_replication_chaos(
+            small_scenario(seed=3, txns=14, faults=("archive",))
+        )
+        assert outcome.violations == ()
+        assert outcome.summary["archive"]["io_faults"] > 0
+
+    def test_pre_archive_trace_replays_archive_off(self):
+        scenario = small_scenario()
+        data = scenario_to_dict(scenario)
+        for key in list(data):
+            if key.startswith("archive"):
+                del data[key]  # a trace recorded before the cold store
+        assert scenario_from_dict(data).archive is False
+
+
 class TestSabotage:
     def test_torn_segment_is_caught(self):
         outcome = run_replication_chaos(small_scenario(sabotage=True))
         assert any(
             v.startswith("replica-divergence") for v in outcome.violations
         )
+
+    def test_premature_gc_is_caught(self):
+        outcome = run_replication_chaos(
+            small_scenario(txns=14, sabotage="gc", writer_kill=True)
+        )
+        assert any(
+            v.startswith("gc-premature") for v in outcome.violations
+        )
+
+    def test_gc_sabotage_minimizes_and_keeps_the_archive(self):
+        scenario = small_scenario(txns=14, sabotage="gc", writer_kill=True)
+        small = minimize(scenario)
+        first = run_replication_chaos(small)
+        second = run_replication_chaos(small)
+        assert first.violations and first.violations == second.violations
+        assert any(v.startswith("gc-premature") for v in first.violations)
+        # The planted bug lives in the cold store: shedding the archive
+        # would make the failure vanish, so the minimizer must keep it.
+        assert small.archive
 
     def test_sabotage_violation_minimizes_and_replays(self):
         scenario = small_scenario(sabotage=True)
